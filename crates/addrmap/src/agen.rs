@@ -1,0 +1,421 @@
+//! StepStone address generation (paper §III-D, Fig. 4c).
+//!
+//! During a PIM kernel, the unit must walk — in ascending address order — the
+//! cache blocks that belong to its (PIM, group, partition) under the XOR
+//! address mapping. Membership is a conjunction of parity constraints over
+//! physical-address bits, so after a plain block increment the address may
+//! land on a different PIM and must be *skipped forward*.
+//!
+//! Two generators produce the identical sequence:
+//!
+//! * [`NaiveAgen`] — increments block by block, re-checking the IDs each
+//!   time. Iterations per step equal the address gap, which grows with the
+//!   number of active PIMs and stalls the 4-cycle DRAM burst pipeline.
+//! * [`StepStoneAgen`] — increment-correct-and-check: increments only at
+//!   ID-affecting bit positions, restoring all mask parities with the
+//!   minimal suffix correction. The iteration count is bounded by the number
+//!   of ID-affecting bits and is further compressed by the paper's two
+//!   rules: *instant correction* of adjacent bits feeding the same ID bit
+//!   (rule 1) and *carry forwarding* across contiguous chains of bits
+//!   feeding different ID bits (rule 2).
+//!
+//! Sequence equality between the two generators is enforced by unit and
+//! property tests — the same validation the paper performs against
+//! pre-generated address traces (§IV).
+
+use crate::geometry::BLOCK_BYTES;
+use crate::gf2::Gf2System;
+use serde::{Deserialize, Serialize};
+
+/// `parity(pa & mask) == parity` must hold for a block to be emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityConstraint {
+    pub mask: u64,
+    pub parity: bool,
+}
+
+impl ParityConstraint {
+    pub fn satisfied_by(&self, pa: u64) -> bool {
+        ((pa & self.mask).count_ones() & 1 == 1) == self.parity
+    }
+}
+
+/// Do all constraints hold at `pa`?
+pub fn satisfies(pa: u64, cs: &[ParityConstraint]) -> bool {
+    cs.iter().all(|c| c.satisfied_by(pa))
+}
+
+/// One generated address plus the number of AGEN iterations it cost. The
+/// pipeline inserts bubbles whenever `iterations` exceeds the DRAM burst
+/// window (paper §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgenStep {
+    pub pa: u64,
+    pub iterations: u32,
+}
+
+/// Which of the paper's two iteration-compression rules are active; both on
+/// is the full StepStone AGEN, both off is a plain bit-serial corrector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgenRules {
+    /// Rule 1: adjacent bits feeding the same ID bit correct in one step.
+    pub instant_correction: bool,
+    /// Rule 2: a carry across a chain of contiguous bits feeding different
+    /// ID bits is forwarded directly to the next-higher bit.
+    pub carry_forwarding: bool,
+}
+
+impl Default for AgenRules {
+    fn default() -> Self {
+        Self { instant_correction: true, carry_forwarding: true }
+    }
+}
+
+impl AgenRules {
+    pub const NONE: AgenRules = AgenRules { instant_correction: false, carry_forwarding: false };
+}
+
+/// The baseline generator: scan one block at a time (paper §III-D "a simple
+/// iterative approach of incrementing the address until the address is again
+/// within this same block and PIM ID").
+#[derive(Debug, Clone)]
+pub struct NaiveAgen {
+    cs: Vec<ParityConstraint>,
+    next_candidate: u64,
+    end: u64,
+}
+
+impl NaiveAgen {
+    /// Generate all satisfying blocks in `[start, end)`; `start` must be
+    /// block-aligned.
+    pub fn new(cs: Vec<ParityConstraint>, start: u64, end: u64) -> Self {
+        debug_assert_eq!(start % BLOCK_BYTES, 0);
+        Self { cs, next_candidate: start, end }
+    }
+}
+
+impl Iterator for NaiveAgen {
+    type Item = AgenStep;
+
+    fn next(&mut self) -> Option<AgenStep> {
+        let mut iterations = 0u32;
+        let mut pa = self.next_candidate;
+        while pa < self.end {
+            iterations += 1;
+            if satisfies(pa, &self.cs) {
+                self.next_candidate = pa + BLOCK_BYTES;
+                return Some(AgenStep { pa, iterations });
+            }
+            pa += BLOCK_BYTES;
+        }
+        None
+    }
+}
+
+/// The StepStone increment-correct-and-check generator.
+#[derive(Debug, Clone)]
+pub struct StepStoneAgen {
+    cs: Vec<ParityConstraint>,
+    /// Ascending ID-affecting bit positions (the union of constraint masks).
+    sbits: Vec<u32>,
+    /// `unit_start[u]` = lowest bit position of compressed iteration unit
+    /// `u`, per the active rules.
+    unit_starts: Vec<u32>,
+    next_lower_bound: u64,
+    started: bool,
+    end: u64,
+}
+
+impl StepStoneAgen {
+    pub fn new(cs: Vec<ParityConstraint>, start: u64, end: u64) -> Self {
+        Self::with_rules(cs, start, end, AgenRules::default())
+    }
+
+    pub fn with_rules(cs: Vec<ParityConstraint>, start: u64, end: u64, rules: AgenRules) -> Self {
+        debug_assert_eq!(start % BLOCK_BYTES, 0);
+        let mut union = 0u64;
+        for c in &cs {
+            union |= c.mask;
+        }
+        let mut sbits = Vec::new();
+        let mut u = union;
+        while u != 0 {
+            sbits.push(u.trailing_zeros());
+            u &= u - 1;
+        }
+        let unit_starts = compress_units(&cs, &sbits, rules);
+        Self { cs, sbits, unit_starts, next_lower_bound: start, started: false, end }
+    }
+
+    /// Number of compressed iteration units (hardware loop bound).
+    pub fn unit_count(&self) -> usize {
+        self.unit_starts.len()
+    }
+
+    /// Hardware iterations charged for a step that won at bit position `p`:
+    /// the initial increment-and-check plus one per unit below `p`.
+    fn iterations_for(&self, p: u32) -> u32 {
+        1 + self.unit_starts.iter().take_while(|&&s| s < p).count() as u32
+    }
+
+    /// Smallest satisfying block address strictly greater than `x`, or
+    /// `None` if the constraint system is unsatisfiable (e.g. a row
+    /// partition that contains no rows of the requested group).
+    fn successor(&self, x: u64) -> Option<(u64, u32)> {
+        // Fast path: the plain increment stays on this PIM and group. With
+        // the baseline Skylake mapping pairs of blocks are contiguous
+        // (lowest ID bit is PA bit 7), so this hits half the time.
+        let cand = x + BLOCK_BYTES;
+        if satisfies(cand, &self.cs) {
+            return Some((cand, 1));
+        }
+        let mut best: Option<(u64, u32)> = None;
+        // Candidate prefixes: increment at each bit position `p`, zero the
+        // free bits below, and restore the parities with the minimal
+        // assignment of ID-affecting bits below `p`. The true successor is
+        // produced at `p` = its highest bit differing from `x`, so scanning
+        // all positions (with monotone-base pruning) is exact.
+        let top = 63 - x.max(1).leading_zeros().min(57);
+        let top = top.max(self.sbits.last().copied().unwrap_or(6)) + 2;
+        for p in crate::geometry::BLOCK_SHIFT..=top {
+            let base = ((x >> p) + 1) << p;
+            if let Some((b, _)) = best {
+                if base >= b {
+                    break;
+                }
+            }
+            let low_mask = (1u64 << p) - 1;
+            let mut sys = Gf2System::new();
+            let mut consistent = true;
+            for c in &self.cs {
+                let coeff = c.mask & low_mask;
+                let rhs = c.parity ^ ((base & c.mask & !low_mask).count_ones() & 1 == 1);
+                if !sys.add(coeff, rhs) {
+                    consistent = false;
+                    break;
+                }
+            }
+            if !consistent {
+                continue;
+            }
+            let fix = sys.min_solution().expect("consistent system has a solution");
+            let cand = base | fix;
+            debug_assert!(cand > x);
+            debug_assert!(satisfies(cand, &self.cs));
+            if best.is_none_or(|(b, _)| cand < b) {
+                best = Some((cand, self.iterations_for(p)));
+            }
+        }
+        best
+    }
+}
+
+impl Iterator for StepStoneAgen {
+    type Item = AgenStep;
+
+    fn next(&mut self) -> Option<AgenStep> {
+        let (pa, iterations) = if !self.started {
+            self.started = true;
+            if self.next_lower_bound < self.end && satisfies(self.next_lower_bound, &self.cs) {
+                (self.next_lower_bound, 1)
+            } else if self.next_lower_bound >= self.end {
+                return None;
+            } else {
+                self.successor(self.next_lower_bound)?
+            }
+        } else {
+            self.successor(self.next_lower_bound)?
+        };
+        if pa >= self.end {
+            return None;
+        }
+        self.next_lower_bound = pa;
+        Some(AgenStep { pa, iterations })
+    }
+}
+
+/// Compress ascending ID-affecting bit positions into hardware iteration
+/// units per the active rules. Without rules every bit is its own unit;
+/// rule 1 merges an adjacent pair feeding the same ID bit; rule 2 merges a
+/// contiguous chain of bits feeding pairwise different ID bits; with both
+/// rules any contiguous run collapses to one unit.
+fn compress_units(cs: &[ParityConstraint], sbits: &[u32], rules: AgenRules) -> Vec<u32> {
+    let share_mask = |a: u32, b: u32| {
+        cs.iter().any(|c| c.mask >> a & 1 == 1 && c.mask >> b & 1 == 1)
+    };
+    let mut unit_starts = Vec::new();
+    let mut prev: Option<u32> = None;
+    for &b in sbits {
+        let merged = match prev {
+            Some(p) if b == p + 1 => {
+                let same = share_mask(p, b);
+                (same && rules.instant_correction) || (!same && rules.carry_forwarding)
+            }
+            _ => false,
+        };
+        if !merged {
+            unit_starts.push(b);
+        }
+        prev = Some(b);
+    }
+    unit_starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::GroupAnalysis;
+    use crate::layout::MatrixLayout;
+    use crate::pimlevel::PimLevel;
+    use crate::presets::{mapping_by_id, MappingId};
+
+    fn collect_both(
+        cs: &[ParityConstraint],
+        start: u64,
+        end: u64,
+    ) -> (Vec<AgenStep>, Vec<AgenStep>) {
+        let naive: Vec<_> = NaiveAgen::new(cs.to_vec(), start, end).collect();
+        let fast: Vec<_> = StepStoneAgen::new(cs.to_vec(), start, end).collect();
+        (naive, fast)
+    }
+
+    #[test]
+    fn unconstrained_walks_every_block() {
+        let (naive, fast) = collect_both(&[], 0, 1024);
+        assert_eq!(naive.len(), 16);
+        assert_eq!(fast.len(), 16);
+        for (i, (n, f)) in naive.iter().zip(&fast).enumerate() {
+            assert_eq!(n.pa, i as u64 * 64);
+            assert_eq!(n.pa, f.pa);
+            assert_eq!(f.iterations, 1);
+        }
+    }
+
+    #[test]
+    fn single_bit_constraint() {
+        let cs = vec![ParityConstraint { mask: 1 << 6, parity: true }];
+        let (naive, fast) = collect_both(&cs, 0, 64 * 16);
+        let pas: Vec<u64> = naive.iter().map(|s| s.pa).collect();
+        assert_eq!(pas, vec![64, 192, 320, 448, 576, 704, 832, 960]);
+        assert_eq!(pas, fast.iter().map(|s| s.pa).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xor_constraint_sequences_match() {
+        // BG0-style constraint: b7 ⊕ b14 = 0.
+        let cs = vec![ParityConstraint { mask: (1 << 7) | (1 << 14), parity: false }];
+        let (naive, fast) = collect_both(&cs, 0, 1 << 16);
+        assert!(!naive.is_empty());
+        assert_eq!(
+            naive.iter().map(|s| s.pa).collect::<Vec<_>>(),
+            fast.iter().map(|s| s.pa).collect::<Vec<_>>()
+        );
+        // Exactly half the blocks satisfy a single XOR parity.
+        assert_eq!(naive.len(), 1 << 9);
+    }
+
+    #[test]
+    fn matches_naive_on_real_pim_group_walk() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let layout = MatrixLayout::new_f32(0, 64, 1024);
+        for level in PimLevel::ALL {
+            let ga = GroupAnalysis::analyze(&m, level, layout);
+            let pim = ga.active_pims()[0];
+            for g in 0..ga.n_groups() {
+                if !ga.is_admissible(pim, g) {
+                    continue;
+                }
+                let cs = ga.constraints_for(pim, g);
+                let (naive, fast) = collect_both(&cs, layout.base, layout.end());
+                assert_eq!(
+                    naive.iter().map(|s| s.pa).collect::<Vec<_>>(),
+                    fast.iter().map(|s| s.pa).collect::<Vec<_>>(),
+                    "{level:?} group {g}"
+                );
+                // The walk covers exactly the (pim, group) blocks.
+                let expect = ga.local_cols_per_group() * ga.rows_of_group(g).len() as u64;
+                assert_eq!(naive.len() as u64, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn stepstone_iterations_bounded_by_units() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let layout = MatrixLayout::new_f32(0, 256, 4096);
+        let ga = GroupAnalysis::analyze(&m, PimLevel::BankGroup, layout);
+        let pim = ga.active_pims()[0];
+        let g = (0..ga.n_groups()).find(|&g| ga.is_admissible(pim, g)).unwrap();
+        let cs = ga.constraints_for(pim, g);
+        let agen = StepStoneAgen::new(cs.clone(), layout.base, layout.end());
+        let bound = agen.unit_count() as u32 + 1;
+        let mut worst_naive = 0;
+        for (f, n) in agen.zip(NaiveAgen::new(cs, layout.base, layout.end())) {
+            assert!(f.iterations <= bound, "{} > {bound}", f.iterations);
+            worst_naive = worst_naive.max(n.iterations);
+        }
+        // The naive generator needs long scans somewhere in the walk.
+        assert!(worst_naive as usize > bound as usize);
+    }
+
+    #[test]
+    fn rules_reduce_unit_count() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let layout = MatrixLayout::new_f32(0, 1024, 4096);
+        let ga = GroupAnalysis::analyze(&m, PimLevel::BankGroup, layout);
+        let pim = ga.active_pims()[0];
+        let g = (0..ga.n_groups()).find(|&g| ga.is_admissible(pim, g)).unwrap();
+        let cs = ga.constraints_for(pim, g);
+        let full = StepStoneAgen::with_rules(cs.clone(), 0, 64, AgenRules::default());
+        let none = StepStoneAgen::with_rules(cs.clone(), 0, 64, AgenRules::NONE);
+        assert!(full.unit_count() < none.unit_count());
+        // Without rules, one unit per ID-affecting bit.
+        assert_eq!(none.unit_count(), none.sbits.len());
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_yield_empty_walks() {
+        // Contradictory parities on the same mask: no address matches.
+        let cs = vec![
+            ParityConstraint { mask: 1 << 8, parity: true },
+            ParityConstraint { mask: 1 << 8, parity: false },
+        ];
+        let fast: Vec<_> = StepStoneAgen::new(cs.clone(), 0, 1 << 20).collect();
+        assert!(fast.is_empty());
+        let naive: Vec<_> = NaiveAgen::new(cs, 0, 1 << 20).collect();
+        assert!(naive.is_empty());
+    }
+
+    #[test]
+    fn start_at_valid_address_is_emitted() {
+        let cs = vec![ParityConstraint { mask: 1 << 7, parity: false }];
+        let fast: Vec<_> = StepStoneAgen::new(cs.clone(), 0, 256).collect();
+        assert_eq!(fast[0].pa, 0, "a satisfying start address must be emitted");
+        let naive: Vec<_> = NaiveAgen::new(cs, 0, 256).collect();
+        assert_eq!(naive[0].pa, 0);
+    }
+
+    #[test]
+    fn partitioned_walk_skips_other_partitions() {
+        use crate::groups::partition_constraints;
+        let m = mapping_by_id(MappingId::Skylake);
+        let layout = MatrixLayout::new_f32(0, 64, 1024);
+        let ga = GroupAnalysis::analyze(&m, PimLevel::Device, layout);
+        let pim = ga.active_pims()[0];
+        let g = (0..ga.n_groups()).find(|&g| ga.is_admissible(pim, g)).unwrap();
+        let mut seen = Vec::new();
+        for part in 0..4u32 {
+            let mut cs = ga.constraints_for(pim, g);
+            cs.extend(partition_constraints(layout.mcol_mask(), 4, part));
+            let walk: Vec<_> = StepStoneAgen::new(cs, layout.base, layout.end()).collect();
+            assert!(!walk.is_empty());
+            seen.extend(walk.iter().map(|s| s.pa));
+        }
+        // The four column partitions exactly tile the unpartitioned walk.
+        let full: Vec<u64> = StepStoneAgen::new(ga.constraints_for(pim, g), 0, layout.end())
+            .map(|s| s.pa)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, full);
+    }
+}

@@ -1,0 +1,40 @@
+//! XOR-based DRAM address mappings, block-group analysis, and the StepStone
+//! address-generation (AGEN) logic.
+//!
+//! This crate is the mathematical heart of the StepStone PIM reproduction
+//! (Cho, Jung, Erez, SC'21). It models the CPU's XOR-based physical-address →
+//! DRAM-coordinate mappings as invertible linear maps over GF(2), derives the
+//! *block groups* that make locality-preserving PIM GEMM execution possible
+//! under such mappings (paper §III-B), and implements both the naive and the
+//! StepStone increment-correct-and-check address generators (§III-D).
+//!
+//! # Overview
+//!
+//! * [`Geometry`] — channel/rank/bank-group/bank/row/column organization.
+//! * [`XorMapping`] — an invertible XOR-based address mapping built from
+//!   per-bit field owners plus XOR taps, with encode/decode both ways.
+//! * [`presets`] — the five address mappings of the paper's Table II.
+//! * [`PimLevel`] — channel-, device-, or bank-group-level PIM placement and
+//!   the PIM-ID bit extraction for each.
+//! * [`GroupAnalysis`] — per-matrix block-group structure: group count, local
+//!   columns, replication (sharing) and reduction factors.
+//! * [`agen`] — [`agen::NaiveAgen`] and [`agen::StepStoneAgen`], generating
+//!   identical address sequences with very different iteration costs.
+
+pub mod agen;
+pub mod geometry;
+pub mod gf2;
+pub mod groups;
+pub mod layout;
+pub mod mapping;
+pub mod pimlevel;
+pub mod presets;
+pub mod reveng;
+
+pub use agen::{AgenStep, NaiveAgen, ParityConstraint, StepStoneAgen};
+pub use geometry::{DramCoord, Geometry, BLOCK_BYTES, BLOCK_SHIFT};
+pub use groups::GroupAnalysis;
+pub use layout::MatrixLayout;
+pub use mapping::{Field, XorMapping};
+pub use pimlevel::PimLevel;
+pub use presets::{mapping_by_id, MappingId};

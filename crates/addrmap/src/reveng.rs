@@ -1,0 +1,179 @@
+//! Reverse-engineering XOR address mappings from a decode oracle.
+//!
+//! The paper assumes "the CPU address mapping is available for PIMs either
+//! by reverse engineering, by CPU vendors building the PIMs, or by
+//! agreement" (§III-D, footnote 3), citing DRAMA (Pessl et al.), which
+//! recovers the functions with timing side channels. Given any
+//! block-granular decode oracle — a timing probe in the field, or a
+//! [`crate::XorMapping`] in tests — the recovery itself is linear algebra:
+//! every coordinate bit of a XOR mapping is a parity of PA bits, so probing
+//! the zero address plus each single-bit address determines every mask, and
+//! a handful of random addresses certifies linearity.
+
+use crate::geometry::{DramCoord, Geometry, BLOCK_SHIFT};
+use crate::mapping::XorMapping;
+
+/// A mapping recovered from probes: per-field parity masks over PA bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredMapping {
+    pub geom: Geometry,
+    pub ch_masks: Vec<u64>,
+    pub rank_masks: Vec<u64>,
+    pub bg_masks: Vec<u64>,
+    pub bank_masks: Vec<u64>,
+    pub row_masks: Vec<u64>,
+    pub col_masks: Vec<u64>,
+}
+
+impl RecoveredMapping {
+    /// Decode with the recovered masks (for cross-checking).
+    pub fn decode(&self, pa: u64) -> DramCoord {
+        let gather = |masks: &[u64]| -> u32 {
+            let mut v = 0;
+            for (i, &m) in masks.iter().enumerate() {
+                v |= (((pa & m).count_ones()) & 1) << i;
+            }
+            v
+        };
+        DramCoord {
+            channel: gather(&self.ch_masks),
+            rank: gather(&self.rank_masks),
+            bankgroup: gather(&self.bg_masks),
+            bank: gather(&self.bank_masks),
+            row: gather(&self.row_masks),
+            col: gather(&self.col_masks),
+        }
+    }
+}
+
+/// Errors the recovery can diagnose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevengError {
+    /// The oracle is not linear over GF(2) — not a XOR-based mapping.
+    NotLinear { witness_pa: u64 },
+    /// The oracle does not map address 0 to coordinate 0 (an offset exists;
+    /// probe relative to a base first).
+    NonZeroOrigin,
+}
+
+/// Recover a XOR mapping from `oracle` over `bits` block-address bits,
+/// verifying linearity with `check_rounds` random probes (xorshift-seeded,
+/// deterministic).
+pub fn recover<F>(geom: Geometry, oracle: F, check_rounds: usize) -> Result<RecoveredMapping, RevengError>
+where
+    F: Fn(u64) -> DramCoord,
+{
+    let origin = oracle(0);
+    if origin != (DramCoord { channel: 0, rank: 0, bankgroup: 0, bank: 0, row: 0, col: 0 }) {
+        return Err(RevengError::NonZeroOrigin);
+    }
+    let bits = geom.block_addr_bits();
+    let field = |c: &DramCoord| -> [u32; 6] {
+        [c.channel, c.rank, c.bankgroup, c.bank, c.row, c.col]
+    };
+    let widths = [
+        geom.channel_bits(),
+        geom.rank_bits(),
+        geom.bankgroup_bits(),
+        geom.bank_bits(),
+        geom.row_bits(),
+        geom.column_bits(),
+    ];
+    // Probe each single PA bit: its coordinate is exactly the set of
+    // coordinate bits whose mask contains it.
+    let mut masks: [Vec<u64>; 6] = widths.map(|w| vec![0u64; w as usize]);
+    for b in 0..bits {
+        let pa = 1u64 << (BLOCK_SHIFT + b);
+        let c = oracle(pa);
+        for (f, v) in field(&c).into_iter().enumerate() {
+            for i in 0..widths[f] {
+                if v >> i & 1 == 1 {
+                    masks[f][i as usize] |= pa;
+                }
+            }
+        }
+    }
+    let rec = RecoveredMapping {
+        geom,
+        ch_masks: masks[0].clone(),
+        rank_masks: masks[1].clone(),
+        bg_masks: masks[2].clone(),
+        bank_masks: masks[3].clone(),
+        row_masks: masks[4].clone(),
+        col_masks: masks[5].clone(),
+    };
+    // Linearity certification: random multi-bit addresses must decode to
+    // the XOR of their bits' decodes — i.e. match the recovered masks.
+    let mut state = 0x5DEECE66Du64;
+    for _ in 0..check_rounds {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pa = ((state >> 17) & ((1u64 << bits) - 1)) << BLOCK_SHIFT;
+        if oracle(pa) != rec.decode(pa) {
+            return Err(RevengError::NotLinear { witness_pa: pa });
+        }
+    }
+    Ok(rec)
+}
+
+/// Recover directly from a known mapping (test/bring-up convenience).
+pub fn recover_from_mapping(m: &XorMapping) -> RecoveredMapping {
+    recover(*m.geometry(), |pa| m.decode(pa), 256).expect("XorMapping is linear by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Field;
+    use crate::presets::{mapping_by_id, MappingId};
+
+    #[test]
+    fn recovers_every_preset_exactly() {
+        for id in MappingId::ALL {
+            let m = mapping_by_id(id);
+            let rec = recover_from_mapping(&m);
+            // Mask-for-mask equality with the ground truth.
+            assert_eq!(rec.ch_masks, m.field_masks(Field::Channel), "{id:?} channel");
+            assert_eq!(rec.rank_masks, m.field_masks(Field::Rank), "{id:?} rank");
+            assert_eq!(rec.bg_masks, m.field_masks(Field::BankGroup), "{id:?} bg");
+            assert_eq!(rec.bank_masks, m.field_masks(Field::Bank), "{id:?} bank");
+            assert_eq!(rec.row_masks, m.field_masks(Field::Row), "{id:?} row");
+            assert_eq!(rec.col_masks, m.field_masks(Field::Column), "{id:?} col");
+        }
+    }
+
+    #[test]
+    fn recovered_decode_agrees_everywhere() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let rec = recover_from_mapping(&m);
+        for blk in (0..(1u64 << 16)).step_by(97) {
+            assert_eq!(rec.decode(blk * 64), m.decode(blk * 64));
+        }
+    }
+
+    #[test]
+    fn rejects_nonlinear_oracles() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let geom = *m.geometry();
+        // A row-remapped (non-XOR) oracle: conditionally perturb a quarter
+        // of all rows (dense enough for the linearity certification).
+        let oracle = |pa: u64| {
+            let mut c = m.decode(pa);
+            if c.row % 4 == 3 && c.col > 2 {
+                c.row ^= 5;
+            }
+            c
+        };
+        match recover(geom, oracle, 4096) {
+            Err(RevengError::NotLinear { .. }) => {}
+            other => panic!("expected NotLinear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_offset_origin() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let geom = *m.geometry();
+        let oracle = |pa: u64| m.decode(pa + 64);
+        assert_eq!(recover(geom, oracle, 16), Err(RevengError::NonZeroOrigin));
+    }
+}

@@ -1,0 +1,236 @@
+//! Property tests for the address-mapping substrate: mapping bijectivity,
+//! AGEN sequence equivalence (the paper's own trace-validation methodology,
+//! §IV), and block-group partition algebra.
+
+use proptest::prelude::*;
+use stepstone_addr::agen::{AgenRules, NaiveAgen, ParityConstraint, StepStoneAgen};
+use stepstone_addr::geometry::{Geometry, BLOCK_SHIFT};
+use stepstone_addr::groups::GroupAnalysis;
+use stepstone_addr::layout::MatrixLayout;
+use stepstone_addr::mapping::{BitSpec, Field, XorMapping};
+use stepstone_addr::pimlevel::PimLevel;
+use stepstone_addr::presets::{mapping_by_id, MappingId};
+
+/// A strategy producing a random but always-invertible XOR mapping on a
+/// small geometry: random owner permutation plus random taps drawn only from
+/// *row-owned* bits (the PAE construction, which keeps the map triangular
+/// and therefore invertible).
+fn random_mapping() -> impl Strategy<Value = XorMapping> {
+    let geom = Geometry {
+        channels: 2,
+        ranks_per_channel: 2,
+        bankgroups_per_rank: 4,
+        banks_per_bankgroup: 2,
+        rows_per_bank: 64,
+        blocks_per_row: 16,
+    };
+    let nbits = geom.block_addr_bits() as usize; // 4+1+2+1+1+6 = 15
+    (any::<u64>(), proptest::collection::vec(any::<u32>(), nbits)).prop_map(move |(seed, taps)| {
+        // Build the owner list: columns, banks, bank groups, rank, channel,
+        // rows — then apply a seed-driven permutation of the non-row bits.
+        let mut owners: Vec<(Field, u32)> = Vec::new();
+        for i in 0..geom.column_bits() {
+            owners.push((Field::Column, i));
+        }
+        for i in 0..geom.bank_bits() {
+            owners.push((Field::Bank, i));
+        }
+        for i in 0..geom.bankgroup_bits() {
+            owners.push((Field::BankGroup, i));
+        }
+        for i in 0..geom.rank_bits() {
+            owners.push((Field::Rank, i));
+        }
+        for i in 0..geom.channel_bits() {
+            owners.push((Field::Channel, i));
+        }
+        let non_row = owners.len();
+        for i in 0..geom.row_bits() {
+            owners.push((Field::Row, i));
+        }
+        // Fisher–Yates over the non-row owners with a simple LCG.
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for i in (1..non_row).rev() {
+            let j = (rng() as usize) % (i + 1);
+            owners.swap(i, j);
+        }
+        // Row-owned PA bits (taps must come from here to stay invertible).
+        let row_bits: Vec<u32> = owners
+            .iter()
+            .enumerate()
+            .filter(|(_, (f, _))| *f == Field::Row)
+            .map(|(i, _)| BLOCK_SHIFT + i as u32)
+            .collect();
+        let specs: Vec<BitSpec> = owners
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, idx))| {
+                let is_id = matches!(f, Field::Channel | Field::Rank | Field::BankGroup);
+                if is_id && !row_bits.is_empty() {
+                    let t = taps[i] as usize % (row_bits.len() + 1);
+                    if t < row_bits.len() {
+                        return BitSpec::tapped(f, idx, &[row_bits[t]]);
+                    }
+                }
+                BitSpec::plain(f, idx)
+            })
+            .collect();
+        XorMapping::from_bit_specs("random", geom, &specs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_roundtrips_everywhere(m in random_mapping(), blocks in proptest::collection::vec(0u64..(1 << 15), 32)) {
+        for b in blocks {
+            let pa = b << BLOCK_SHIFT;
+            let c = m.decode(pa);
+            prop_assert_eq!(m.encode(c), pa);
+        }
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_on_a_window(m in random_mapping()) {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0u64..(1 << 12) {
+            let c = m.decode(b << BLOCK_SHIFT);
+            prop_assert!(seen.insert((c.channel, c.rank, c.bankgroup, c.bank, c.row, c.col)));
+        }
+    }
+
+    #[test]
+    fn agen_equivalence_random_mapping(
+        m in random_mapping(),
+        rows_log in 2u32..5,
+        cols_log in 4u32..7,
+        level_ix in 0usize..3,
+    ) {
+        let level = PimLevel::ALL[level_ix];
+        let layout = MatrixLayout::new_f32(0, 1 << rows_log, 1 << cols_log);
+        let ga = GroupAnalysis::analyze(&m, level, layout);
+        let pim = ga.active_pims()[0];
+        for g in 0..ga.n_groups() {
+            if !ga.is_admissible(pim, g) {
+                continue;
+            }
+            let cs = ga.constraints_for(pim, g);
+            let naive: Vec<u64> =
+                NaiveAgen::new(cs.clone(), layout.base, layout.end()).map(|s| s.pa).collect();
+            let fast: Vec<u64> =
+                StepStoneAgen::new(cs, layout.base, layout.end()).map(|s| s.pa).collect();
+            prop_assert_eq!(naive, fast);
+        }
+    }
+
+    #[test]
+    fn agen_equivalence_random_constraints(
+        masks in proptest::collection::vec((1u64..(1 << 14), any::<bool>()), 1..5),
+        start_blk in 0u64..64,
+    ) {
+        // Arbitrary parity constraints (masks restricted to block-address
+        // bits). The constraint system may be unsatisfiable in a window;
+        // both generators must agree even then.
+        let cs: Vec<ParityConstraint> = masks
+            .iter()
+            .map(|&(m, p)| ParityConstraint { mask: (m << BLOCK_SHIFT) & !63, parity: p })
+            .filter(|c| c.mask != 0)
+            .collect();
+        let start = start_blk << BLOCK_SHIFT;
+        let end = start + (1 << 16);
+        let naive: Vec<u64> = NaiveAgen::new(cs.clone(), start, end).map(|s| s.pa).collect();
+        let fast: Vec<u64> = StepStoneAgen::new(cs, start, end).map(|s| s.pa).collect();
+        prop_assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn agen_rules_do_not_change_the_sequence(
+        m in random_mapping(),
+        rows_log in 2u32..4,
+    ) {
+        let layout = MatrixLayout::new_f32(0, 1 << rows_log, 64);
+        let ga = GroupAnalysis::analyze(&m, PimLevel::BankGroup, layout);
+        let pim = ga.active_pims()[0];
+        let g = (0..ga.n_groups()).find(|&g| ga.is_admissible(pim, g));
+        if let Some(g) = g {
+            let cs = ga.constraints_for(pim, g);
+            let full: Vec<u64> =
+                StepStoneAgen::with_rules(cs.clone(), 0, layout.end(), AgenRules::default())
+                    .map(|s| s.pa)
+                    .collect();
+            let none: Vec<u64> =
+                StepStoneAgen::with_rules(cs, 0, layout.end(), AgenRules::NONE)
+                    .map(|s| s.pa)
+                    .collect();
+            prop_assert_eq!(full, none);
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_and_counts_match(m in random_mapping(), rows_log in 2u32..5) {
+        let layout = MatrixLayout::new_f32(0, 1 << rows_log, 256);
+        for level in PimLevel::ALL {
+            let ga = GroupAnalysis::analyze(&m, level, layout);
+            // Every block belongs to exactly one (active PIM, group).
+            let mut per_pim = std::collections::HashMap::new();
+            for r in 0..layout.rows {
+                let g = ga.group_of_row(r);
+                for k in 0..layout.blocks_per_row() {
+                    let p = ga.pim_of_block(r, k);
+                    prop_assert!(ga.is_admissible(p, g));
+                    *per_pim.entry(p).or_insert(0u64) += 1;
+                }
+            }
+            prop_assert_eq!(per_pim.len(), ga.active_pim_count());
+            for (_, count) in per_pim {
+                prop_assert_eq!(count, ga.blocks_per_pim());
+            }
+            // Replication invariant: summing each PIM's distinct localized
+            // columns recovers `sharing` copies of every column block.
+            prop_assert_eq!(
+                ga.distinct_cols_per_pim() * ga.active_pim_count() as u64,
+                ga.sharing() as u64 * layout.blocks_per_row()
+            );
+            // Reduction invariant: summing each PIM's partial-C rows
+            // recovers `reduction` copies of every output row.
+            prop_assert_eq!(
+                (ga.c_rows_per_pim() * ga.active_pim_count()) as u64,
+                (ga.reduction() * layout.rows) as u64
+            );
+        }
+    }
+}
+
+#[test]
+fn preset_mappings_agen_equivalence_exhaustive() {
+    // Cross-check every preset at every level on the paper's Fig. 4 matrix.
+    let layout = MatrixLayout::new_f32(0, 16, 512);
+    for id in MappingId::ALL {
+        let m = mapping_by_id(id);
+        for level in PimLevel::ALL {
+            let ga = GroupAnalysis::analyze(&m, level, layout);
+            for &pim in &ga.active_pims() {
+                for g in 0..ga.n_groups() {
+                    if !ga.is_admissible(pim, g) {
+                        continue;
+                    }
+                    let cs = ga.constraints_for(pim, g);
+                    let naive: Vec<u64> =
+                        NaiveAgen::new(cs.clone(), 0, layout.end()).map(|s| s.pa).collect();
+                    let fast: Vec<u64> =
+                        StepStoneAgen::new(cs, 0, layout.end()).map(|s| s.pa).collect();
+                    assert_eq!(naive, fast, "{id:?} {level:?} pim {pim} group {g}");
+                    assert_eq!(
+                        naive.len() as u64,
+                        ga.local_cols_per_group() * ga.rows_per_group() as u64
+                    );
+                }
+            }
+        }
+    }
+}

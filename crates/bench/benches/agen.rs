@@ -1,0 +1,45 @@
+//! Host-side throughput of the address generators: the StepStone AGEN must
+//! produce addresses orders of magnitude faster than naive scanning, and
+//! the simulator leans on it for every region walk.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stepstone_addr::{
+    mapping_by_id, GroupAnalysis, MappingId, MatrixLayout, NaiveAgen, PimLevel, StepStoneAgen,
+};
+
+fn bench_agen(c: &mut Criterion) {
+    let mapping = mapping_by_id(MappingId::Skylake);
+    let layout = MatrixLayout::new_f32(0, 256, 4096);
+    let ga = GroupAnalysis::analyze(&mapping, PimLevel::BankGroup, layout);
+    let pim = ga.active_pims()[0];
+    let grp = (0..ga.n_groups()).find(|&g| ga.is_admissible(pim, g)).expect("admissible");
+    let cs = ga.constraints_for(pim, grp);
+
+    let mut group = c.benchmark_group("agen_walk_4k_blocks");
+    group.bench_function("stepstone", |b| {
+        b.iter(|| {
+            let walk = StepStoneAgen::new(cs.clone(), layout.base, layout.end());
+            black_box(walk.count())
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let walk = NaiveAgen::new(cs.clone(), layout.base, layout.end());
+            black_box(walk.count())
+        })
+    });
+    group.finish();
+
+    c.bench_function("mapping_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for blk in 0..4096u64 {
+                acc ^= black_box(mapping.decode(blk * 64)).bankgroup;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_agen);
+criterion_main!(benches);

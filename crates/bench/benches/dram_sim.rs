@@ -1,0 +1,31 @@
+//! Simulator engine throughput: cycles simulated per wall-clock second for
+//! the streaming access path and a full StepStone GEMM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stepstone_addr::{mapping_by_id, MappingId, PimLevel};
+use stepstone_core::{simulate_gemm, GemmSpec, SystemConfig};
+use stepstone_dram::{CasKind, DramConfig, Port, TimingState};
+
+fn bench_sim(c: &mut Criterion) {
+    let mapping = mapping_by_id(MappingId::Skylake);
+    c.bench_function("timing_access_stream_8k", |b| {
+        b.iter(|| {
+            let mut ts = TimingState::new(DramConfig::default());
+            let mut end = 0;
+            for blk in 0..8192u64 {
+                let coord = mapping.decode(blk * 64);
+                end = ts.access(coord, CasKind::Read, Port::Channel, 0).data_end;
+            }
+            black_box(end)
+        })
+    });
+    let sys = SystemConfig::default();
+    c.bench_function("stepstone_gemm_256x1024_bg", |b| {
+        b.iter(|| {
+            black_box(simulate_gemm(&sys, &GemmSpec::new(256, 1024, 4), PimLevel::BankGroup).total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Wall-clock cost of regenerating key paper figures at quick scale (a
+//! proxy for whole-harness health; the full sweeps run via the binaries).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stepstone_bench::figures;
+use stepstone_bench::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.bench_function("fig6", |b| b.iter(|| black_box(figures::fig6::run(Scale::Quick))));
+    g.bench_function("fig9", |b| b.iter(|| black_box(figures::fig9::run(Scale::Quick))));
+    g.bench_function("fig11", |b| b.iter(|| black_box(figures::fig11::run(Scale::Quick))));
+    g.bench_function("fig14", |b| b.iter(|| black_box(figures::fig14::run(Scale::Quick))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerate every table and figure in one run (set STEPSTONE_SCALE=quick
+//! for a fast pass).
+
+use stepstone_bench::figures;
+use stepstone_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    figures::table1::run(scale).emit();
+    figures::table2::run(scale).emit();
+    figures::fig1::run(scale).emit();
+    figures::fig6::run(scale).emit();
+    figures::fig7::run(scale).emit();
+    figures::fig8::run(scale).emit();
+    figures::fig9::run(scale).emit();
+    figures::fig10::run(scale).emit();
+    figures::fig11::run(scale).emit();
+    figures::fig12::run(scale).emit();
+    figures::fig13::run(scale).emit();
+    figures::fig14::run(scale).emit();
+    figures::ablations::run(scale).emit();
+    println!("all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,35 @@
+//! Fig. 1: roofline points showing that small-batch inference GEMMs are
+//! bandwidth-bound on both CPU and GPU, and that host-memory-resident
+//! weights push the GPU below the CPU.
+
+use crate::output::{FigureResult, Scale, Table};
+use stepstone_roofline::{cpu_roofline, gpu_device_roofline, gpu_host_roofline, sweep_cpu, sweep_gpu};
+
+pub fn run(scale: Scale) -> FigureResult {
+    let batches: Vec<usize> = match scale {
+        Scale::Full => (0..=10).map(|i| 1usize << i).collect(),
+        Scale::Quick => vec![1, 32, 1024],
+    };
+    let mut fig = FigureResult::new("fig1", "CPU/GPU roofline, 1024x4096 weights, N=1..1024");
+    fig.note(format!(
+        "ridge points (flops/byte): CPU {:.1}, GPU(dev) {:.1}, GPU(host) {:.1}",
+        cpu_roofline().ridge(),
+        gpu_device_roofline().ridge(),
+        gpu_host_roofline().ridge()
+    ));
+    let mut t = Table::new(vec!["N", "OI (F/B)", "CPU GF/s", "GPU(dev) GF/s", "GPU(host) GF/s"]);
+    let cpu = sweep_cpu(1024, 4096, &batches);
+    let gdev = sweep_gpu(1024, 4096, &batches, false);
+    let ghost = sweep_gpu(1024, 4096, &batches, true);
+    for i in 0..batches.len() {
+        t.row(vec![
+            batches[i].to_string(),
+            format!("{:.2}", cpu[i].oi),
+            format!("{:.1}", cpu[i].gflops),
+            format!("{:.1}", gdev[i].gflops),
+            format!("{:.1}", ghost[i].gflops),
+        ]);
+    }
+    fig.table("achieved Gflop/s (model)", t);
+    fig
+}

@@ -1,0 +1,105 @@
+//! Fig. 6: GEMM latency of the three StepStone levels vs the CPU on the
+//! default 1024×4096 weight matrix, with the full phase breakdown and the
+//! relaxed-area (`*`) variants.
+
+use crate::figures::baseline_system;
+use crate::output::{FigureResult, Scale, Table};
+use rayon::prelude::*;
+use stepstone_addr::PimLevel;
+use stepstone_core::{simulate_gemm_opt, CpuModel, GemmSpec, LatencyReport, Phase, SimOptions};
+use stepstone_pim::PimLevelConfig;
+
+pub const PHASES: [Phase; 6] = [
+    Phase::Gemm,
+    Phase::FillB,
+    Phase::FillC,
+    Phase::DrainC,
+    Phase::Localization,
+    Phase::Reduction,
+];
+
+pub fn breakdown_row(label: String, r: &LatencyReport) -> Vec<String> {
+    let mut row = vec![label];
+    for p in PHASES {
+        row.push(r.phase(p).to_string());
+    }
+    row.push(r.total.to_string());
+    row
+}
+
+pub fn run(scale: Scale) -> FigureResult {
+    let sys = baseline_system();
+    let (m, k) = (1024, 4096);
+    let batches: &[usize] = match scale {
+        Scale::Full => &[1, 4, 16, 32],
+        Scale::Quick => &[1, 8],
+    };
+    let mut fig =
+        FigureResult::new("fig6", "GEMM latency: StepStone levels vs CPU (1024x4096)");
+    let mut t = Table::new(vec![
+        "config", "GEMM", "fill(B)", "fill(C)", "drain(C)", "Localize", "Reduce", "total",
+    ]);
+
+    // (label, level, batch, relaxed) jobs.
+    let mut jobs: Vec<(String, PimLevel, usize, bool)> = Vec::new();
+    for level in [PimLevel::BankGroup, PimLevel::Device, PimLevel::Channel] {
+        for &n in batches {
+            jobs.push((format!("{}-{}", level.tag(), n), level, n, false));
+        }
+        if scale == Scale::Full && level != PimLevel::Channel {
+            jobs.push((format!("{}-32*", level.tag()), level, 32, true));
+        }
+    }
+    let results: Vec<(String, LatencyReport)> = jobs
+        .into_par_iter()
+        .map(|(label, level, n, relaxed)| {
+            let mut opts = SimOptions::stepstone(level);
+            if relaxed {
+                opts = opts.with_level_cfg(PimLevelConfig::relaxed(level));
+            }
+            let r = simulate_gemm_opt(&sys, &GemmSpec::new(m, k, n), &opts, None);
+            (label, r)
+        })
+        .collect();
+    for (label, r) in &results {
+        t.row(breakdown_row(label.clone(), r));
+    }
+    let cpu = CpuModel::default();
+    for &n in batches {
+        let c = cpu.cycles(&GemmSpec::new(m, k, n));
+        t.row(vec![
+            format!("CPU-{n}"),
+            "0".into(), "0".into(), "0".into(), "0".into(), "0".into(), "0".into(),
+            c.to_string(),
+        ]);
+    }
+    fig.table("DRAM cycles by phase", t);
+
+    // Headline ratios.
+    let find = |tag: &str| results.iter().find(|(l, _)| l == tag).map(|(_, r)| r.total);
+    if let (Some(bg1), Some(dv1)) = (find("BG-1"), find("DV-1")) {
+        let cpu1 = cpu.cycles(&GemmSpec::new(m, k, 1));
+        fig.note(format!(
+            "batch-1 min latency: BG {:.1}x vs CPU (paper: 12x), BG {:.1}x vs DV (paper: 2.8x)",
+            cpu1 as f64 / bg1 as f64,
+            dv1 as f64 / bg1 as f64,
+        ));
+    }
+    if let Some(dv32) = find("DV-32") {
+        let cpu1 = cpu.cycles(&GemmSpec::new(m, k, 1)) as f64;
+        let cpu32 = cpu.cycles(&GemmSpec::new(m, k, 32)) as f64;
+        fig.note(format!(
+            "throughput at CPU batch-1 latency: DV-32 {:.0}x CPU (paper: 77x); \
+             at CPU batch-32 latency: {:.1}x (paper: ~3x)",
+            32.0 * cpu1 / dv32 as f64,
+            cpu32 / dv32 as f64,
+        ));
+    }
+    if let (Some(n32), Some(star)) = (find("DV-32"), find("DV-32*")) {
+        fig.note(format!(
+            "relaxed-area DV-32*: {:.2}x over nominal (paper: 96/77 = 1.25x)",
+            n32 as f64 / star as f64
+        ));
+    }
+    fig
+}

@@ -1,0 +1,57 @@
+//! Fig. 7: rooflines including the simulated StepStone-BG/DV points (the
+//! gap to the roofline is localization/reduction overhead).
+
+use crate::figures::baseline_system;
+use crate::output::{FigureResult, Scale, Table};
+use stepstone_addr::PimLevel;
+use stepstone_roofline::{stepstone_roofline, sweep_cpu, sweep_gpu, sweep_stepstone, SweepPoint};
+
+pub fn run(scale: Scale) -> FigureResult {
+    let sys = baseline_system();
+    let batches: Vec<usize> = match scale {
+        Scale::Full => (0..=10).map(|i| 1usize << i).collect(),
+        Scale::Quick => vec![1, 16],
+    };
+    let mut fig = FigureResult::new("fig7", "Rooflines incl. simulated StepStone points");
+    let (bg, dv): (Vec<SweepPoint>, Vec<SweepPoint>) = rayon::join(
+        || sweep_stepstone(&sys, 1024, 4096, &batches, PimLevel::BankGroup),
+        || sweep_stepstone(&sys, 1024, 4096, &batches, PimLevel::Device),
+    );
+    let cpu = sweep_cpu(1024, 4096, &batches);
+    let ghost = sweep_gpu(1024, 4096, &batches, true);
+    let gdev = sweep_gpu(1024, 4096, &batches, false);
+    let mut t = Table::new(vec![
+        "N", "OI", "STP-BG GF/s", "STP-DV GF/s", "CPU GF/s", "GPU(host)", "GPU(dev)",
+        "BG roofline", "DV roofline",
+    ]);
+    for i in 0..batches.len() {
+        t.row(vec![
+            batches[i].to_string(),
+            format!("{:.2}", bg[i].oi),
+            format!("{:.1}", bg[i].gflops),
+            format!("{:.1}", dv[i].gflops),
+            format!("{:.1}", cpu[i].gflops),
+            format!("{:.1}", ghost[i].gflops),
+            format!("{:.1}", gdev[i].gflops),
+            format!("{:.1}", stepstone_roofline(PimLevel::BankGroup).attainable(bg[i].oi)),
+            format!("{:.1}", stepstone_roofline(PimLevel::Device).attainable(dv[i].oi)),
+        ]);
+    }
+    fig.table("achieved Gflop/s", t);
+    // Crossover checks from the paper's text.
+    let stp_best: Vec<f64> =
+        (0..batches.len()).map(|i| bg[i].gflops.max(dv[i].gflops)).collect();
+    let cross_cpu =
+        batches.iter().zip(&stp_best).zip(&cpu).find(|((_, s), c)| c.gflops > **s);
+    fig.note(format!(
+        "CPU overtakes StepStone at N = {:?} (paper: CPU/GPU advantage only at N >= 256)",
+        cross_cpu.map(|((n, _), _)| *n)
+    ));
+    let cross_gdev =
+        batches.iter().zip(&stp_best).zip(&gdev).find(|((_, s), g)| g.gflops > **s);
+    fig.note(format!(
+        "device-resident GPU overtakes at N = {:?} (paper: beyond 16)",
+        cross_gdev.map(|((n, _), _)| *n)
+    ));
+    fig
+}

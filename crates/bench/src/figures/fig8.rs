@@ -1,0 +1,52 @@
+//! Fig. 8: end-to-end inference latency for DLRM, GPT2, XLM, and BERT
+//! under the seven execution schemes, with the PIM_DV / PIM_BG / CPU_GEMM /
+//! CPU_Other stack.
+
+use crate::figures::baseline_system;
+use crate::output::{FigureResult, Scale, Table};
+use stepstone_models::{bert, dlrm, gpt2, xlm, Bucket, ModelExecutor, ModelGraph, Scheme};
+
+pub fn models_for(scale: Scale) -> Vec<ModelGraph> {
+    match scale {
+        Scale::Full => vec![dlrm(4), gpt2(4), xlm(4), bert(4)],
+        Scale::Quick => vec![dlrm(4)],
+    }
+}
+
+pub fn run(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig8", "End-to-end model latency, 7 schemes");
+    let mut ex = ModelExecutor::new(baseline_system());
+    let mut t = Table::new(vec![
+        "model", "scheme", "PIM_DV", "PIM_BG", "CPU_GEMM", "CPU_Other", "total", "norm(iCPU)",
+    ]);
+    for model in models_for(scale) {
+        let icpu_total = ex.run(&model, Scheme::ICpu).total_cycles as f64;
+        let mut cpu_over_stp = 0.0;
+        let mut stp_total = 0;
+        for scheme in Scheme::ALL {
+            let r = ex.run(&model, scheme);
+            t.row(vec![
+                model.name.to_string(),
+                scheme.label().to_string(),
+                r.bucket(Bucket::PimDv).to_string(),
+                r.bucket(Bucket::PimBg).to_string(),
+                r.bucket(Bucket::CpuGemm).to_string(),
+                r.bucket(Bucket::CpuOther).to_string(),
+                r.total_cycles.to_string(),
+                format!("{:.3}", r.total_cycles as f64 / icpu_total),
+            ]);
+            match scheme {
+                Scheme::Stp => stp_total = r.total_cycles,
+                Scheme::Cpu => cpu_over_stp = r.total_cycles as f64,
+                _ => {}
+            }
+        }
+        fig.note(format!(
+            "{}: CPU/STP = {:.1}x (paper headline: up to 16x; BERT 12x)",
+            model.name,
+            cpu_over_stp / stp_total as f64
+        ));
+    }
+    fig.table("cycles by Fig. 8 stack category", t);
+    fig
+}

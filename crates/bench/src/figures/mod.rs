@@ -1,0 +1,34 @@
+//! One module per regenerated paper table/figure. Each exposes
+//! `run(scale) -> FigureResult`; the `src/bin/` wrappers print and save.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use stepstone_core::SystemConfig;
+
+/// The baseline evaluated system (Skylake mapping, DDR4-2400R, DMA
+/// localization).
+pub fn baseline_system() -> SystemConfig {
+    SystemConfig::default()
+}
+
+/// Format cycles compactly.
+pub fn fmt_cycles(c: u64) -> String {
+    format!("{c}")
+}
+
+/// Format a ratio with two decimals.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}

@@ -1,0 +1,58 @@
+//! Table II: evaluation parameters actually instantiated by this
+//! reproduction (PIM configs, address mappings, DDR4 timing, energy).
+
+use crate::output::{FigureResult, Scale, Table};
+use stepstone_addr::{mapping_by_id, MappingId, PimLevel};
+use stepstone_dram::TimingParams;
+use stepstone_energy::EnergyParams;
+use stepstone_pim::PimLevelConfig;
+
+pub fn run(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("table2", "Evaluation parameters");
+    let mut t = Table::new(vec!["PIM level", "logical SIMD", "scratchpad", "port"]);
+    for level in PimLevel::ALL {
+        let c = PimLevelConfig::nominal(level);
+        t.row(vec![
+            format!("StepStone-{}", level.tag()),
+            format!("{}", c.simd_width),
+            format!("{} KiB", c.scratchpad_bytes >> 10),
+            format!("{:?}", c.port()),
+        ]);
+    }
+    fig.table("PIM configurations (logical aggregation, DESIGN.md 3.3)", t);
+
+    let mut t = Table::new(vec!["ID", "Mapping", "name"]);
+    for id in MappingId::ALL {
+        t.row(vec![
+            format!("{}", id.index()),
+            format!("{id:?}"),
+            mapping_by_id(id).name().to_string(),
+        ]);
+    }
+    fig.table("Address mappings", t);
+
+    let tp = TimingParams::default();
+    let mut t = Table::new(vec!["param", "cycles"]);
+    for (k, v) in [
+        ("tBL", tp.t_bl), ("tCCDS", tp.t_ccds), ("tCCDL", tp.t_ccdl), ("tRTRS", tp.t_rtrs),
+        ("tCL", tp.t_cl), ("tCWL", tp.t_cwl), ("tRCD", tp.t_rcd), ("tRP", tp.t_rp),
+        ("tRAS", tp.t_ras), ("tRC", tp.t_rc), ("tRTP", tp.t_rtp), ("tWTRS", tp.t_wtrs),
+        ("tWTRL", tp.t_wtrl), ("tWR", tp.t_wr), ("tRRDS", tp.t_rrds), ("tRRDL", tp.t_rrdl),
+        ("tFAW", tp.t_faw),
+    ] {
+        t.row(vec![k.to_string(), v.to_string()]);
+    }
+    fig.table("DRAM timing (DDR4-2400R)", t);
+
+    let e = EnergyParams::default();
+    let mut t = Table::new(vec!["component", "value"]);
+    t.row(vec!["in-device RD/WR".into(), format!("{} pJ/b", e.in_device_pj_per_bit)]);
+    t.row(vec!["off-chip RD/WR".into(), format!("{} pJ/b", e.off_chip_pj_per_bit)]);
+    t.row(vec!["SIMD MAC".into(), format!("{} pJ/op", e.simd_pj_per_op)]);
+    t.row(vec![
+        "scratchpad (CH/DV/BG)".into(),
+        format!("{:?} nJ/access", e.scratch_nj_per_access),
+    ]);
+    fig.table("Energy components", t);
+    fig
+}

@@ -1,0 +1,126 @@
+//! Whole-system configuration for StepStone simulations.
+
+use serde::{Deserialize, Serialize};
+use stepstone_addr::agen::AgenRules;
+use stepstone_addr::{mapping_by_id, MappingId, XorMapping};
+use stepstone_dram::DramConfig;
+use stepstone_pim::{LaunchModel, LocalizationMode};
+
+/// Address-generation variants compared in Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgenMode {
+    /// The naive block-by-block scan.
+    Naive,
+    /// StepStone increment-correct-and-check with the given rules.
+    StepStone(AgenRules),
+}
+
+impl Default for AgenMode {
+    fn default() -> Self {
+        AgenMode::StepStone(AgenRules::default())
+    }
+}
+
+/// Everything a simulation needs besides the GEMM itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub dram: DramConfig,
+    pub mapping_id: MappingId,
+    pub launch: LaunchModel,
+    pub agen: AgenMode,
+    /// How `B` localization and `C` reduction move data.
+    pub localization: LocalizationMode,
+    /// Base of the weight-matrix arena (each GEMM is placed at the next
+    /// naturally aligned address at or above this).
+    pub weight_base: u64,
+    /// Base of the per-PIM localized-buffer arena.
+    pub buffer_base: u64,
+    /// Run the functional datapath and verify results (small GEMMs only).
+    pub validate: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            dram: DramConfig::default(),
+            mapping_id: MappingId::Skylake,
+            launch: LaunchModel::default(),
+            agen: AgenMode::default(),
+            localization: LocalizationMode::AcceleratedDma,
+            weight_base: 1 << 30,
+            buffer_base: 1 << 33,
+            validate: false,
+        }
+    }
+}
+
+impl SystemConfig {
+    pub fn mapping(&self) -> XorMapping {
+        let mut m = mapping_by_id(self.mapping_id);
+        if self.dram.geom != *m.geometry() {
+            m = stepstone_addr::presets::mapping_on(self.mapping_id, self.dram.geom);
+        }
+        m
+    }
+
+    /// Place an `total_bytes`-sized matrix at its natural alignment at or
+    /// above the weight arena base (the layout validator requires it).
+    pub fn place_weights(&self, total_bytes: u64) -> u64 {
+        align_up(self.weight_base, total_bytes.max(64))
+    }
+
+    pub fn with_mapping(mut self, id: MappingId) -> Self {
+        self.mapping_id = id;
+        self
+    }
+
+    pub fn with_agen(mut self, agen: AgenMode) -> Self {
+        self.agen = agen;
+        self
+    }
+
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    pub fn with_localization(mut self, mode: LocalizationMode) -> Self {
+        self.localization = mode;
+        self
+    }
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_placement_is_naturally_aligned() {
+        let sys = SystemConfig::default();
+        let sz = (1024u64 * 4096 * 4).next_power_of_two();
+        let base = sys.place_weights(sz);
+        assert_eq!(base % sz, 0);
+        assert!(base >= sys.weight_base);
+    }
+
+    #[test]
+    fn buffer_arena_does_not_overlap_weights() {
+        let sys = SystemConfig::default();
+        // Largest evaluated matrix: 16384×1024×4 = 64 MiB ≪ arena gap.
+        let base = sys.place_weights(16384 * 2048 * 4);
+        assert!(base + 16384 * 2048 * 4 <= sys.buffer_base);
+    }
+
+    #[test]
+    fn default_uses_skylake_and_dma() {
+        let sys = SystemConfig::default();
+        assert_eq!(sys.mapping_id, MappingId::Skylake);
+        assert_eq!(sys.localization, LocalizationMode::AcceleratedDma);
+        assert_eq!(sys.mapping().name(), "skylake");
+    }
+}

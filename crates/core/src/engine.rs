@@ -1,0 +1,523 @@
+//! Multi-agent, event-driven execution engine.
+//!
+//! Each PIM unit (or DMA channel, or the colocated CPU) is a *cursor* over a
+//! pre-built step program. The engine repeatedly advances the cursor with
+//! the earliest desired issue time, so commits into the shared
+//! [`TimingState`] stay approximately time-ordered while PIM units with
+//! disjoint bank partitions proceed concurrently.
+//!
+//! The per-unit model implements the paper's pipeline semantics (§III-A,
+//! §V-C): a 20-deep execution pipeline hides DRAM and AGEN latency; the
+//! per-block issue rate is bounded by DRAM timing, by SIMD throughput
+//! (back-pressure once `pipeline_depth` blocks are in flight), and by AGEN —
+//! a step whose address generation exceeds the DRAM burst window inserts
+//! bubbles.
+
+use crate::report::Phase;
+use std::collections::VecDeque;
+use stepstone_addr::{DramCoord, XorMapping};
+use stepstone_dram::{CasKind, CommandBus, Port, TimingState, TrafficSource};
+
+/// One operation in a unit's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// A kernel-launch packet must cross the command bus before subsequent
+    /// accesses may issue.
+    Launch,
+    /// One cache-block DRAM access.
+    Access {
+        pa: u64,
+        write: bool,
+        cat: Phase,
+        /// AGEN iterations spent producing this address.
+        agen_iters: u32,
+        /// Whether the block feeds the SIMD pipeline (GEMM blocks) or is a
+        /// pure buffer transfer.
+        compute: bool,
+    },
+}
+
+/// Remapping used for the PIM-subset optimization (§III-E): dropped
+/// bank-group ID bits are pinned by the coloring allocator, folding the
+/// dropped address parity into extra row bits of the same bank group.
+#[derive(Debug, Clone)]
+pub struct SubsetRemap {
+    /// PA parity masks of the dropped ID bits.
+    pub dropped_masks: Vec<u64>,
+    /// Number of bank-group coordinate bits to clear (highest first).
+    pub bg_bits: u32,
+    /// Row-field width of the geometry (folded bits go just above it).
+    pub row_bits: u32,
+}
+
+impl SubsetRemap {
+    fn remap(&self, mut c: DramCoord, pa: u64) -> DramCoord {
+        for (i, &mask) in self.dropped_masks.iter().enumerate() {
+            let parity = (pa & mask).count_ones() & 1;
+            let bg_bit = self.bg_bits - 1 - i as u32;
+            c.bankgroup &= !(1 << bg_bit);
+            c.row ^= parity << (self.row_bits + i as u32);
+        }
+        c
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WinEntry {
+    pa: u64,
+    /// Decoded (and subset-remapped) coordinate, cached at window fill.
+    coord: DramCoord,
+    write: bool,
+    cat: Phase,
+    compute: bool,
+    gen_ready: u64,
+}
+
+/// Execution state of one unit.
+pub struct UnitCursor {
+    pub label: &'static str,
+    /// Channel this unit's control packets ride on.
+    pub channel: u32,
+    pub port: Port,
+    steps: std::vec::IntoIter<Step>,
+    peeked: Option<Step>,
+    /// In-order AGEN output awaiting issue; the PIM's memory sequencer may
+    /// issue any of these out of order (a small FR-FCFS-like window that a
+    /// 20-deep pipeline implies; Ramulator's controller reorders the same
+    /// way). Entries carry the time AGEN finished generating them.
+    window: VecDeque<WinEntry>,
+    window_cap: usize,
+    gen_clock: u64,
+    /// Earliest desired issue time of the next command.
+    pub not_before: u64,
+    prev_cas: u64,
+    simd_free: u64,
+    inflight: VecDeque<u64>,
+    launch_avail: u64,
+    launch_req: u64,
+    pending_kernel_start: bool,
+    clock: u64,
+    pub cat_cycles: [u64; 8],
+    pub end_time: u64,
+    // Static parameters.
+    compute_cycles_per_block: u64,
+    simd_ops_per_block: u64,
+    pipeline_depth: usize,
+    launch_slots: u64,
+    launch_latency: u64,
+    /// Per-cache-block packet schemes (PEI) stream packets back-to-back;
+    /// kernel launches request when the previous kernel starts.
+    pub pipelined_launch: bool,
+    burst_window: u64,
+    /// Extra spacing between blocks for host-mediated transfer streams.
+    host_gap: u64,
+    subset: Option<SubsetRemap>,
+    // Statistics.
+    pub launches: u64,
+    pub simd_ops: u64,
+    pub scratch_accesses: u64,
+    pub agen_iter_sum: u64,
+    pub agen_iter_max: u32,
+    pub agen_bubbles: u64,
+}
+
+impl UnitCursor {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: &'static str,
+        channel: u32,
+        port: Port,
+        steps: Vec<Step>,
+        start: u64,
+        compute_cycles_per_block: u64,
+        simd_ops_per_block: u64,
+        pipeline_depth: usize,
+        launch_slots: u64,
+        launch_latency: u64,
+        burst_window: u64,
+        subset: Option<SubsetRemap>,
+    ) -> Self {
+        Self {
+            label,
+            channel,
+            port,
+            steps: steps.into_iter(),
+            peeked: None,
+            window: VecDeque::with_capacity(8),
+            window_cap: (pipeline_depth / 2).clamp(1, 8),
+            gen_clock: start,
+            not_before: start,
+            prev_cas: start,
+            simd_free: start,
+            inflight: VecDeque::with_capacity(pipeline_depth),
+            launch_avail: start,
+            launch_req: start,
+            pending_kernel_start: false,
+            clock: start,
+            cat_cycles: [0; 8],
+            end_time: start,
+            compute_cycles_per_block,
+            simd_ops_per_block,
+            pipeline_depth,
+            launch_slots,
+            launch_latency,
+            pipelined_launch: false,
+            burst_window,
+            host_gap: 0,
+            subset,
+            launches: 0,
+            simd_ops: 0,
+            scratch_accesses: 0,
+            agen_iter_sum: 0,
+            agen_iter_max: 0,
+            agen_bubbles: 0,
+        }
+    }
+
+    /// A plain transfer stream (DMA, reductions): no compute, no launches.
+    pub fn transfer(
+        label: &'static str,
+        channel: u32,
+        port: Port,
+        steps: Vec<Step>,
+        start: u64,
+        inter_block_gap: u64,
+    ) -> Self {
+        let mut c = Self::new(label, channel, port, steps, start, 0, 0, 4, 0, 0, 4, None);
+        // Host-mediated transfers insert idle gaps between blocks.
+        c.host_gap = inter_block_gap;
+        c
+    }
+
+    fn peek(&mut self) -> Option<Step> {
+        if self.peeked.is_none() {
+            self.peeked = self.steps.next();
+        }
+        self.peeked
+    }
+
+    /// Move consecutive Access steps into the reorder window, charging the
+    /// (serial) AGEN for each generated address. A Launch is a barrier.
+    fn fill_window(&mut self, mapping: &XorMapping) {
+        while self.window.len() < self.window_cap {
+            match self.peek() {
+                Some(Step::Access { pa, write, cat, agen_iters, compute }) => {
+                    self.peeked = None;
+                    self.gen_clock = self.gen_clock.max(self.not_before) + agen_iters as u64;
+                    self.agen_iter_sum += agen_iters as u64;
+                    self.agen_iter_max = self.agen_iter_max.max(agen_iters);
+                    if agen_iters as u64 > self.burst_window {
+                        self.agen_bubbles += 1;
+                    }
+                    let mut coord = mapping.decode(pa);
+                    if let Some(su) = &self.subset {
+                        coord = su.remap(coord, pa);
+                    }
+                    self.window.push_back(WinEntry {
+                        pa,
+                        coord,
+                        write,
+                        cat,
+                        compute,
+                        gen_ready: self.gen_clock,
+                    });
+                }
+                _ => break,
+            }
+        }
+    }
+
+    pub fn is_done(&mut self) -> bool {
+        self.window.is_empty() && self.peek().is_none()
+    }
+
+    /// Desired time of the next command (scheduling key).
+    pub fn desired(&mut self, mapping: &XorMapping) -> Option<u64> {
+        self.fill_window(mapping);
+        if let Some(e) = self.window.front() {
+            return Some(self.not_before.max(e.gen_ready));
+        }
+        self.peek()?;
+        Some(self.not_before)
+    }
+
+    /// Execute the next step.
+    pub fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
+        self.fill_window(mapping);
+        if self.window.is_empty() {
+            let Some(step) = self.peeked.take().or_else(|| self.steps.next()) else {
+                return;
+            };
+            match step {
+                Step::Launch => {
+                    self.launches += 1;
+                    if self.launch_slots > 0 {
+                        let grant =
+                            bus.acquire(self.channel as usize, self.launch_req, self.launch_slots);
+                        self.launch_avail = grant + self.launch_latency;
+                        if self.pipelined_launch {
+                            // Back-to-back packets: the next request queues
+                            // right behind this one on the bus.
+                            self.launch_req = grant;
+                        }
+                    } else {
+                        self.launch_avail = self.not_before;
+                    }
+                    self.pending_kernel_start = !self.pipelined_launch;
+                }
+                Step::Access { .. } => unreachable!("fill_window consumes Access steps"),
+            }
+            return;
+        }
+        // Pick the window entry whose data would start earliest (the PIM
+        // sequencer's FR-FCFS-like choice).
+        let base_nb = self.not_before.max(self.launch_avail);
+        let mut best_ix = 0;
+        let mut best_t = u64::MAX;
+        for (i, e) in self.window.iter().enumerate() {
+            let nb = base_nb.max(e.gen_ready);
+            let kind = if e.write { CasKind::Write } else { CasKind::Read };
+            let t = ts.probe(e.coord, kind, self.port, nb);
+            if t < best_t {
+                best_t = t;
+                best_ix = i;
+                if t <= base_nb {
+                    break; // cannot beat an immediate issue
+                }
+            }
+        }
+        let e = self.window.remove(best_ix).expect("window entry");
+        let mut nb = base_nb.max(e.gen_ready);
+        if self.inflight.len() >= self.pipeline_depth {
+            if let Some(t) = self.inflight.pop_front() {
+                nb = nb.max(t);
+            }
+        }
+        let kind = if e.write { CasKind::Write } else { CasKind::Read };
+        let bt = ts.access(e.coord, kind, self.port, nb);
+        if self.pending_kernel_start {
+            self.pending_kernel_start = false;
+            self.launch_req = bt.cas_at;
+        }
+        self.prev_cas = bt.cas_at;
+        // Host-mediated streams (CPU loads/stores) leave the bus idle
+        // between transfers; the DMA engine does not.
+        self.not_before = if self.host_gap > 0 {
+            bt.cas_at + self.burst_window + self.host_gap
+        } else {
+            bt.cas_at
+        };
+        let mark = if e.compute {
+            let done = self.simd_free.max(bt.data_end) + self.compute_cycles_per_block;
+            self.simd_free = done;
+            self.inflight.push_back(done);
+            self.simd_ops += self.simd_ops_per_block;
+            self.scratch_accesses += 2; // B panel read + C accumulate
+            bt.cas_at.max(self.clock)
+        } else {
+            self.scratch_accesses += 1;
+            bt.data_end
+        };
+        let mark = mark.max(self.clock);
+        self.cat_cycles[e.cat.index()] += mark - self.clock;
+        self.clock = mark;
+        self.end_time = self.end_time.max(bt.data_end).max(self.simd_free);
+    }
+
+    /// Close out attribution after the program is exhausted: the SIMD
+    /// pipeline drains into the GEMM category.
+    pub fn finish(&mut self) {
+        if self.simd_free > self.clock {
+            self.cat_cycles[Phase::Gemm.index()] += self.simd_free - self.clock;
+            self.clock = self.simd_free;
+        }
+        self.end_time = self.end_time.max(self.clock);
+    }
+}
+
+/// Colocated CPU traffic as an engine participant.
+pub struct TrafficCursor<'a> {
+    src: &'a mut dyn TrafficSource,
+    pending: Option<stepstone_dram::TrafficReq>,
+    /// Arrival time of the pending request (open-loop process).
+    arrival: u64,
+    pub served: u64,
+    pub last_issue: u64,
+    /// Sum of request queueing delays (issue − arrival): the CPU-side cost
+    /// of sharing the memory system with the PIMs.
+    pub queueing_cycles: u64,
+}
+
+impl<'a> TrafficCursor<'a> {
+    pub fn new(src: &'a mut dyn TrafficSource, start: u64) -> Self {
+        Self { src, pending: None, arrival: start, served: 0, last_issue: start, queueing_cycles: 0 }
+    }
+
+    /// Mean request queueing delay in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.queueing_cycles as f64 / self.served as f64
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<u64> {
+        if self.pending.is_none() {
+            let req = self.src.next_req()?;
+            self.arrival += req.gap;
+            self.pending = Some(req);
+        }
+        Some(self.arrival.max(self.last_issue))
+    }
+
+    fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
+        let Some(req) = self.pending.take() else { return };
+        let coord = mapping.decode(req.pa);
+        let t = self.arrival.max(self.last_issue);
+        let grant = bus.acquire(coord.channel as usize, t, self.src.slots_per_request());
+        let kind = if req.write { CasKind::Write } else { CasKind::Read };
+        let bt = ts.access(coord, kind, Port::Channel, grant);
+        self.last_issue = bt.cas_at;
+        self.queueing_cycles += bt.cas_at.saturating_sub(self.arrival);
+        self.served += 1;
+    }
+}
+
+/// Run all unit cursors (and optional colocated traffic) to completion.
+/// Returns the phase end time (max unit end).
+pub fn run_phase(
+    ts: &mut TimingState,
+    bus: &mut CommandBus,
+    mapping: &XorMapping,
+    units: &mut [UnitCursor],
+    mut traffic: Option<&mut TrafficCursor>,
+) -> u64 {
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, u) in units.iter_mut().enumerate() {
+            if let Some(t) = u.desired(mapping) {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let Some((i, t)) = best else { break };
+        // Let CPU traffic that wants the bus earlier go first.
+        if let Some(tc) = traffic.as_deref_mut() {
+            while tc.peek_time().is_some_and(|tt| tt <= t) {
+                tc.advance(ts, bus, mapping);
+            }
+        }
+        units[i].advance(ts, bus, mapping);
+    }
+    let mut end = 0;
+    for u in units.iter_mut() {
+        u.finish();
+        end = end.max(u.end_time);
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepstone_addr::{mapping_by_id, MappingId};
+    use stepstone_dram::{DramConfig, TrafficReq};
+
+    fn read_step(pa: u64) -> Step {
+        Step::Access { pa, write: false, cat: Phase::Gemm, agen_iters: 1, compute: false }
+    }
+
+    fn run_single(steps: Vec<Step>, launch_slots: u64) -> UnitCursor {
+        let mapping = mapping_by_id(MappingId::Skylake);
+        let mut ts = TimingState::new(DramConfig::default());
+        let mut bus = CommandBus::new(2);
+        let mut units = vec![UnitCursor::new(
+            "t", 0, Port::Channel, steps, 0, 0, 0, 8, launch_slots, 10, 4, None,
+        )];
+        run_phase(&mut ts, &mut bus, &mapping, &mut units, None);
+        units.pop().expect("one unit")
+    }
+
+    #[test]
+    fn launch_gates_first_access() {
+        let u = run_single(vec![Step::Launch, read_step(0)], 16);
+        // The access cannot start before the 16-slot packet + latency.
+        assert!(u.end_time >= 26, "end={}", u.end_time);
+        assert_eq!(u.launches, 1);
+    }
+
+    #[test]
+    fn zero_slot_launch_is_free() {
+        let gated = run_single(vec![Step::Launch, read_step(0)], 16);
+        let free = run_single(vec![Step::Launch, read_step(0)], 0);
+        assert!(free.end_time < gated.end_time);
+    }
+
+    #[test]
+    fn reorder_window_beats_in_order_on_same_bg_pairs() {
+        // Blocks alternating (same-BG, same-BG) pairs: the window interleaves
+        // them across bank groups, reaching tCCDS instead of tCCDL pacing.
+        let mapping = mapping_by_id(MappingId::Skylake);
+        // Find 32 channel-0 blocks in address order.
+        let blocks: Vec<u64> = (0..4096u64)
+            .map(|b| b * 64)
+            .filter(|&pa| mapping.decode(pa).channel == 0)
+            .take(64)
+            .collect();
+        let steps: Vec<Step> = blocks.iter().map(|&pa| read_step(pa)).collect();
+        let u = run_single(steps, 0);
+        let per_block = (u.end_time as f64) / 64.0;
+        assert!(per_block < 6.0, "windowed stream achieves < tCCDL per block: {per_block}");
+    }
+
+    #[test]
+    fn agen_iterations_accumulate_and_bubble() {
+        let steps = vec![
+            Step::Access { pa: 0, write: false, cat: Phase::Gemm, agen_iters: 2, compute: false },
+            Step::Access { pa: 64, write: false, cat: Phase::Gemm, agen_iters: 9, compute: false },
+        ];
+        let u = run_single(steps, 0);
+        assert_eq!(u.agen_iter_sum, 11);
+        assert_eq!(u.agen_iter_max, 9);
+        assert_eq!(u.agen_bubbles, 1, "9 iterations exceed the 4-cycle burst window");
+    }
+
+    #[test]
+    fn subset_remap_folds_dropped_bits_into_rows() {
+        let remap = SubsetRemap { dropped_masks: vec![1 << 7], bg_bits: 2, row_bits: 15 };
+        let base = DramCoord { channel: 0, rank: 0, bankgroup: 3, bank: 0, row: 5, col: 1 };
+        let c0 = remap.remap(base, 0); // parity 0
+        assert_eq!(c0.bankgroup, 1, "high BG bit cleared");
+        assert_eq!(c0.row, 5);
+        let c1 = remap.remap(base, 1 << 7); // parity 1
+        assert_eq!(c1.bankgroup, 1);
+        assert_eq!(c1.row, 5 | (1 << 15), "parity folded into a high row bit");
+    }
+
+    #[test]
+    fn traffic_cursor_serves_in_arrival_order() {
+        struct Two(Vec<TrafficReq>);
+        impl TrafficSource for Two {
+            fn next_req(&mut self) -> Option<TrafficReq> {
+                self.0.pop()
+            }
+        }
+        let mapping = mapping_by_id(MappingId::Skylake);
+        let mut ts = TimingState::new(DramConfig::default());
+        let mut bus = CommandBus::new(2);
+        let mut src = Two(vec![
+            TrafficReq { pa: 128, write: true, gap: 5 },
+            TrafficReq { pa: 64, write: false, gap: 3 },
+        ]);
+        let mut tc = TrafficCursor::new(&mut src, 0);
+        // Drive it alongside an empty unit set via a dummy unit.
+        let mut units = vec![UnitCursor::new(
+            "t", 0, Port::Channel, vec![read_step(1 << 20)], 100, 0, 0, 8, 0, 0, 4, None,
+        )];
+        run_phase(&mut ts, &mut bus, &mapping, &mut units, Some(&mut tc));
+        assert_eq!(tc.served, 2);
+        assert!(tc.last_issue >= 8, "second request waits for its arrival");
+    }
+}

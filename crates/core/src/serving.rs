@@ -1,0 +1,245 @@
+//! Serving-time execution strategies from §III-E and §V-B:
+//!
+//! * **Batch splitting** — "Even with somewhat larger batches (e.g., up to
+//!   N = 384 for BERT), StepStone PIM outperforms the CPU by splitting a
+//!   batch into several batch-32 GEMM operations" (§V-B). The splitter
+//!   chops a large batch into PIM-sized chunks and serializes them.
+//! * **Fused kernels for non-power-of-two matrices** — §III-E lists
+//!   "fusing multiple kernel executions for matrices that are not powers of
+//!   two" among the optimizations. Instead of running each power-of-two
+//!   sub-GEMM as an independent localize→kernel→reduce sequence, the fused
+//!   flow localizes all sub-matrices in one DMA pass, runs every sub-kernel
+//!   under a single long-running launch per PIM, and reduces once.
+
+use crate::config::SystemConfig;
+use crate::cpu::CpuModel;
+use crate::engine::{run_phase, TrafficCursor, UnitCursor};
+use crate::flow::{build_kernel_program_for, transfer_cursors, GemmContext, SimOptions};
+use crate::gemm::GemmSpec;
+use crate::report::{ActivityCounts, LatencyReport, Phase};
+use stepstone_addr::PimLevel;
+use stepstone_dram::{CommandBus, TimingState, TrafficSource};
+
+/// The largest per-kernel batch the PIMs run efficiently (§V-B splits to
+/// batch-32 chunks).
+pub const PIM_CHUNK_BATCH: usize = 32;
+
+/// Simulate a large-batch GEMM by splitting into PIM-sized chunks.
+pub fn simulate_split_batch(
+    sys: &SystemConfig,
+    m: usize,
+    k: usize,
+    n_total: usize,
+    level: PimLevel,
+) -> LatencyReport {
+    let mut report = LatencyReport { backend: format!("STP-{}/split", level.tag()), ..Default::default() };
+    let mut remaining = n_total;
+    while remaining > 0 {
+        let n = remaining.min(PIM_CHUNK_BATCH);
+        let r = crate::flow::simulate_gemm(sys, &GemmSpec::new(m, k, n), level);
+        report.chain(&r);
+        remaining -= n;
+    }
+    report
+}
+
+/// The batch size at which the CPU overtakes split-batch PIM execution for
+/// an `m × k` weight matrix (the paper's N = 384 claim for BERT's layers).
+pub fn cpu_crossover_batch(sys: &SystemConfig, m: usize, k: usize, level: PimLevel) -> usize {
+    let cpu = CpuModel::default();
+    // The PIM cost is linear in the number of chunks; compute one chunk.
+    let chunk = crate::flow::simulate_gemm(sys, &GemmSpec::new(m, k, PIM_CHUNK_BATCH), level).total;
+    let mut n = PIM_CHUNK_BATCH;
+    loop {
+        let chunks = n.div_ceil(PIM_CHUNK_BATCH) as u64;
+        let pim = chunks * chunk;
+        if cpu.cycles(&GemmSpec::new(m, k, n)) < pim || n > 1 << 14 {
+            return n;
+        }
+        n += PIM_CHUNK_BATCH;
+    }
+}
+
+/// Fused execution of a non-power-of-two GEMM: the sub-matrices' phases are
+/// pipelined — while sub-GEMM *i* streams through the PIM-internal
+/// datapaths, the DMA engine already localizes sub-GEMM *i+1* over the
+/// (otherwise idle) channel, and reductions are batched at the end.
+pub fn simulate_gemm_fused(
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+) -> LatencyReport {
+    let subs = spec.decompose_pow2();
+    // Place each sub-matrix at its own naturally aligned region.
+    let mut cursor = sys.weight_base;
+    let mut ctxs: Vec<GemmContext> = Vec::with_capacity(subs.len());
+    for sub in &subs {
+        let size = (sub.m * sub.k * 4) as u64;
+        let mut sub_sys = sys.clone();
+        sub_sys.weight_base = cursor;
+        // Distinct buffer arenas per sub-matrix, too.
+        sub_sys.buffer_base = sys.buffer_base + ctxs.len() as u64 * (1 << 28);
+        let ctx = GemmContext::build(&sub_sys, sub, opts);
+        cursor = ctx.layout.end().max(cursor + size);
+        ctxs.push(ctx);
+    }
+    let mut ts = TimingState::new(sys.dram);
+    let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
+    let loc_mode = opts.localization.unwrap_or(sys.localization);
+    let mut report =
+        LatencyReport { backend: format!("STP-{}/fused", opts.level_cfg.level.tag()), ..Default::default() };
+    let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
+
+    // Pipelined phases: while sub-GEMM i's kernels stream on the internal
+    // datapaths, the DMA localizes sub-GEMM i+1 over the channel. Each
+    // round co-simulates both in one engine phase so the shared timing
+    // state sees them in true time order.
+    let mut loc0 = transfer_cursors(
+        &ctxs[0],
+        &ctxs[0].b_regions,
+        true,
+        Phase::Localization,
+        0,
+        loc_mode.inter_block_gap(),
+    );
+    let mut loc_done =
+        run_phase(&mut ts, &mut bus, &ctxs[0].mapping, &mut loc0, tcur.as_mut());
+    report.add_phase(Phase::Localization, loc_done);
+
+    let mut activity = ActivityCounts::default();
+    let mut kernel_end = 0u64;
+    let mut kernel_ready = loc_done;
+    for (i, ctx) in ctxs.iter().enumerate() {
+        let start = kernel_ready.max(kernel_end);
+        let mut cursors: Vec<UnitCursor> = (0..ctx.active_pims.len())
+            .map(|pix| {
+                UnitCursor::new(
+                    "pim-fused",
+                    ctx.pim_channel(ctx.active_pims[pix]),
+                    opts.level_cfg.port(),
+                    build_kernel_program_for(ctx, sys, opts, pix),
+                    start,
+                    opts.level_cfg.compute_cycles_per_block(spec.n),
+                    opts.level_cfg.simd_ops_per_block(spec.n),
+                    opts.level_cfg.pipeline_depth as usize,
+                    sys.launch.slots_for(opts.granularity),
+                    sys.launch.launch_latency,
+                    sys.dram.timing.t_bl,
+                    None,
+                )
+            })
+            .collect();
+        let n_kernels = cursors.len();
+        if let Some(next) = ctxs.get(i + 1) {
+            cursors.extend(transfer_cursors(
+                next,
+                &next.b_regions,
+                true,
+                Phase::Localization,
+                loc_done,
+                loc_mode.inter_block_gap(),
+            ));
+        }
+        run_phase(&mut ts, &mut bus, &ctx.mapping, &mut cursors, tcur.as_mut());
+        kernel_end = cursors[..n_kernels].iter().map(|u| u.end_time).max().unwrap_or(start);
+        if n_kernels < cursors.len() {
+            loc_done = cursors[n_kernels..].iter().map(|u| u.end_time).max().unwrap_or(loc_done);
+        }
+        kernel_ready = loc_done;
+        for u in &cursors[..n_kernels] {
+            for p in [Phase::Gemm, Phase::FillB, Phase::FillC, Phase::DrainC] {
+                let ix = p.index();
+                report.phase_cycles[ix] = report.phase_cycles[ix].max(u.cat_cycles[ix]);
+            }
+            activity.simd_ops += u.simd_ops;
+            activity.scratchpad_accesses += u.scratch_accesses;
+            activity.launches += u.launches;
+            activity.agen_iterations += u.agen_iter_sum;
+            activity.agen_bubbles += u.agen_bubbles;
+        }
+    }
+
+    // Phase 3: one reduction pass over every sub-matrix's partial C.
+    let mut red_end = kernel_end;
+    for ctx in &ctxs {
+        let mut red = transfer_cursors(
+            ctx,
+            &ctx.c_regions,
+            false,
+            Phase::Reduction,
+            red_end,
+            loc_mode.inter_block_gap(),
+        );
+        red_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut());
+    }
+    report.add_phase(Phase::Reduction, red_end - kernel_end);
+    report.total = red_end;
+    report.dram = ts.stats;
+    report.activity = activity;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{simulate_gemm, simulate_gemm_opt};
+
+    #[test]
+    fn split_batch_is_linear_in_chunks() {
+        let sys = SystemConfig::default();
+        let one = simulate_split_batch(&sys, 1024, 4096, 32, PimLevel::Device).total;
+        let four = simulate_split_batch(&sys, 1024, 4096, 128, PimLevel::Device).total;
+        assert_eq!(four, 4 * one);
+    }
+
+    #[test]
+    fn paper_claim_cpu_crossover_structure() {
+        // §V-B derives N = 384 from "12 × 32": the crossover batch equals
+        // the per-chunk speedup times the chunk size. Our CPU calibration
+        // is less pessimistic than the measured Xeon at batch 32, so the
+        // value shifts, but the structural relation must hold and the
+        // crossover must land at hundreds of samples.
+        let sys = SystemConfig::default();
+        let crossover = cpu_crossover_batch(&sys, 1024, 4096, PimLevel::Device);
+        let cpu = CpuModel::default();
+        let chunk_speedup = cpu.cycles(&GemmSpec::new(1024, 4096, PIM_CHUNK_BATCH)) as f64
+            / crate::flow::simulate_gemm(
+                &sys,
+                &GemmSpec::new(1024, 4096, PIM_CHUNK_BATCH),
+                PimLevel::Device,
+            )
+            .total as f64;
+        let predicted = chunk_speedup * PIM_CHUNK_BATCH as f64;
+        assert!(
+            (64..=1024).contains(&crossover),
+            "CPU crossover batch = {crossover} (paper: 384)"
+        );
+        let ratio = crossover as f64 / predicted;
+        assert!((0.5..2.0).contains(&ratio), "crossover {crossover} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn fused_non_pow2_beats_serialized() {
+        // GPT2's 1600×6400 MLP decomposes into 9 sub-GEMMs; fusing their
+        // kernels must not be slower than serializing the full flows.
+        let sys = SystemConfig::default();
+        let spec = GemmSpec::new(1600, 6400, 4);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let serial = simulate_gemm_opt(&sys, &spec, &opts, None).total;
+        let fused = simulate_gemm_fused(&sys, &spec, &opts, None).total;
+        assert!(fused < serial, "fused={fused} serial={serial}");
+        assert!(fused * 3 > serial, "fusion cannot be a 3x miracle");
+    }
+
+    #[test]
+    fn fused_equals_plain_for_pow2() {
+        let sys = SystemConfig::default();
+        let spec = GemmSpec::new(512, 2048, 4);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let plain = simulate_gemm(&sys, &spec, PimLevel::BankGroup).total;
+        let fused = simulate_gemm_fused(&sys, &spec, &opts, None).total;
+        let ratio = fused as f64 / plain as f64;
+        assert!((0.9..1.1).contains(&ratio), "{fused} vs {plain}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Command-trace auditor: replays a recorded command stream and re-checks
+//! every Table II constraint pairwise, independently of the fast-path logic
+//! in [`crate::timing::TimingState`]. Used by tests (including property
+//! tests) to guarantee the simulator never emits an illegal schedule.
+
+use crate::config::TimingParams;
+use crate::timing::Port;
+use stepstone_addr::{DramCoord, Geometry};
+
+/// One issued DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdRecord {
+    pub time: u64,
+    pub kind: CmdKind,
+    pub coord: DramCoord,
+    pub port: Port,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    Act,
+    Pre,
+    Read,
+    Write,
+}
+
+/// A recorded command trace.
+#[derive(Debug, Clone, Default)]
+pub struct CommandTrace {
+    pub records: Vec<CmdRecord>,
+}
+
+impl CommandTrace {
+    pub fn push(&mut self, r: CmdRecord) {
+        self.records.push(r);
+    }
+
+    /// Validate all pairwise constraints; returns the list of violations as
+    /// human-readable strings (empty = legal schedule).
+    pub fn validate(&self, geom: &Geometry, tp: &TimingParams) -> Vec<String> {
+        let mut sorted = self.records.clone();
+        sorted.sort_by_key(|r| r.time);
+        let mut violations = Vec::new();
+        let mut check = |ok: bool, msg: String| {
+            if !ok {
+                violations.push(msg);
+            }
+        };
+        for (j, b) in sorted.iter().enumerate() {
+            // A generous window: no Table II constraint spans more than
+            // tRC + tRFC cycles backwards.
+            let horizon = b.time.saturating_sub(tp.t_rc + tp.t_rfc + 64);
+            let mut acts_in_faw = 0;
+            for a in sorted[..j].iter().rev() {
+                if a.time < horizon {
+                    break;
+                }
+                let dt = b.time - a.time;
+                let same_bank = a.coord.bank_index(geom) == b.coord.bank_index(geom);
+                let same_rank = a.coord.rank_index(geom) == b.coord.rank_index(geom);
+                let same_bg = a.coord.bankgroup_index(geom) == b.coord.bankgroup_index(geom);
+                use CmdKind::*;
+                if same_bank {
+                    match (a.kind, b.kind) {
+                        (Act, Act) => check(dt >= tp.t_rc, format!("tRC {dt}")),
+                        (Act, Pre) => check(dt >= tp.t_ras, format!("tRAS {dt}")),
+                        (Pre, Act) => check(dt >= tp.t_rp, format!("tRP {dt}")),
+                        (Act, Read) | (Act, Write) => {
+                            check(dt >= tp.t_rcd, format!("tRCD {dt}"))
+                        }
+                        (Read, Pre) => check(dt >= tp.t_rtp, format!("tRTP {dt}")),
+                        (Write, Pre) => check(
+                            dt >= tp.t_cwl + tp.t_bl + tp.t_wr,
+                            format!("tWR {dt}"),
+                        ),
+                        _ => {}
+                    }
+                }
+                if same_rank && a.kind == CmdKind::Act && b.kind == CmdKind::Act && !same_bank {
+                    let need = tp.rrd(same_bg);
+                    check(dt >= need, format!("tRRD {dt} (same_bg={same_bg})"));
+                }
+                if same_rank && a.kind == CmdKind::Act && b.kind == CmdKind::Act {
+                    acts_in_faw += u64::from(dt < tp.t_faw);
+                    check(acts_in_faw < 4, format!("tFAW window at {}", b.time));
+                }
+                // CAS-to-CAS constraints apply within one datapath.
+                let same_path = a.port == b.port
+                    && match b.port {
+                        Port::Channel => a.coord.channel == b.coord.channel,
+                        Port::RankInternal => same_rank,
+                        Port::BgInternal => same_bg,
+                    };
+                let a_cas = matches!(a.kind, Read | Write);
+                let b_cas = matches!(b.kind, Read | Write);
+                if same_path && a_cas && b_cas {
+                    let need = if same_bg { tp.t_ccdl } else { tp.t_ccds };
+                    check(dt >= need, format!("tCCD {dt} (same_bg={same_bg})"));
+                    if same_rank {
+                        match (a.kind, b.kind) {
+                            (Write, Read) => {
+                                check(dt >= tp.wtr(same_bg), format!("tWTR {dt}"))
+                            }
+                            (Read, Write) => check(dt >= tp.rtw(), format!("tRTW {dt}")),
+                            _ => {}
+                        }
+                    }
+                    // Data-bus overlap (+ tRTRS between ranks on the shared
+                    // channel bus).
+                    let burst = |r: &CmdRecord| {
+                        let lat =
+                            if r.kind == Read { tp.t_cl } else { tp.t_cwl };
+                        (r.time + lat, r.time + lat + tp.t_bl)
+                    };
+                    let (as_, ae) = burst(a);
+                    let (bs, _be) = burst(b);
+                    let gap = if b.port == Port::Channel && !same_rank { tp.t_rtrs } else { 0 };
+                    // Bursts are ordered by CAS time within a path.
+                    if bs >= as_ {
+                        check(bs >= ae + gap, format!("bus overlap gap={}", bs as i64 - ae as i64));
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn rec(time: u64, kind: CmdKind, bank: u32, row: u32, col: u32) -> CmdRecord {
+        CmdRecord {
+            time,
+            kind,
+            coord: DramCoord { channel: 0, rank: 0, bankgroup: 0, bank, row, col },
+            port: Port::Channel,
+        }
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let cfg = DramConfig::default();
+        let tp = cfg.timing;
+        let mut t = CommandTrace::default();
+        t.push(rec(0, CmdKind::Act, 0, 0, 0));
+        t.push(rec(tp.t_rcd, CmdKind::Read, 0, 0, 0));
+        t.push(rec(tp.t_rcd + tp.t_ccdl, CmdKind::Read, 0, 0, 1));
+        assert!(t.validate(&cfg.geom, &tp).is_empty());
+    }
+
+    #[test]
+    fn rcd_violation_detected() {
+        let cfg = DramConfig::default();
+        let mut t = CommandTrace::default();
+        t.push(rec(0, CmdKind::Act, 0, 0, 0));
+        t.push(rec(3, CmdKind::Read, 0, 0, 0));
+        let v = t.validate(&cfg.geom, &cfg.timing);
+        assert!(v.iter().any(|s| s.contains("tRCD")), "{v:?}");
+    }
+
+    #[test]
+    fn ccdl_violation_detected() {
+        let cfg = DramConfig::default();
+        let tp = cfg.timing;
+        let mut t = CommandTrace::default();
+        t.push(rec(0, CmdKind::Act, 0, 0, 0));
+        t.push(rec(tp.t_rcd, CmdKind::Read, 0, 0, 0));
+        t.push(rec(tp.t_rcd + tp.t_ccds, CmdKind::Read, 0, 0, 1)); // same BG: needs tCCDL
+        let v = t.validate(&cfg.geom, &tp);
+        assert!(v.iter().any(|s| s.contains("tCCD")), "{v:?}");
+    }
+
+    #[test]
+    fn faw_violation_detected() {
+        let cfg = DramConfig::default();
+        let tp = cfg.timing;
+        let mut t = CommandTrace::default();
+        for i in 0..5u32 {
+            // 5 ACTs to distinct banks spaced at tRRDS only.
+            let c = DramCoord {
+                channel: 0,
+                rank: 0,
+                bankgroup: i % 4,
+                bank: i / 4,
+                row: 0,
+                col: 0,
+            };
+            t.push(CmdRecord {
+                time: i as u64 * tp.t_rrds,
+                kind: CmdKind::Act,
+                coord: c,
+                port: Port::Channel,
+            });
+        }
+        let v = t.validate(&cfg.geom, &tp);
+        assert!(v.iter().any(|s| s.contains("tFAW")), "{v:?}");
+    }
+}

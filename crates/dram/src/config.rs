@@ -1,0 +1,176 @@
+//! DRAM timing and system configuration (paper Table II).
+
+use serde::{Deserialize, Serialize};
+use stepstone_addr::Geometry;
+
+/// DDR4 timing parameters in DRAM clock cycles.
+///
+/// Defaults are the paper's Table II values for DDR4-2400R (4 GB, x8
+/// devices) at a 1.2 GHz DRAM clock. `t_cwl` is 12 per the table; `t_refi`
+/// and `t_rfc` follow the DDR4-2400 datasheet (refresh is off by default in
+/// experiments, matching the paper's reporting, but can be enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Burst length on the data bus (BL8 at DDR = 4 clock cycles).
+    pub t_bl: u64,
+    /// CAS-to-CAS, different bank group.
+    pub t_ccds: u64,
+    /// CAS-to-CAS, same bank group.
+    pub t_ccdl: u64,
+    /// Rank-to-rank data-bus switch penalty.
+    pub t_rtrs: u64,
+    /// Read CAS latency.
+    pub t_cl: u64,
+    /// Write CAS latency.
+    pub t_cwl: u64,
+    /// ACT to CAS.
+    pub t_rcd: u64,
+    /// PRE to ACT.
+    pub t_rp: u64,
+    /// ACT to PRE (minimum row-open time).
+    pub t_ras: u64,
+    /// ACT to ACT, same bank.
+    pub t_rc: u64,
+    /// Read to PRE.
+    pub t_rtp: u64,
+    /// Write-to-read turnaround, different bank group.
+    pub t_wtrs: u64,
+    /// Write-to-read turnaround, same bank group.
+    pub t_wtrl: u64,
+    /// Write recovery (end of write data to PRE).
+    pub t_wr: u64,
+    /// ACT-to-ACT, different bank group.
+    pub t_rrds: u64,
+    /// ACT-to-ACT, same bank group.
+    pub t_rrdl: u64,
+    /// Four-activate window.
+    pub t_faw: u64,
+    /// Average refresh interval (all-bank REF per rank).
+    pub t_refi: u64,
+    /// Refresh cycle time.
+    pub t_rfc: u64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self {
+            t_bl: 4,
+            t_ccds: 4,
+            t_ccdl: 6,
+            t_rtrs: 2,
+            t_cl: 16,
+            t_cwl: 12,
+            t_rcd: 16,
+            t_rp: 16,
+            t_ras: 39,
+            t_rc: 55,
+            t_rtp: 9,
+            t_wtrs: 3,
+            t_wtrl: 9,
+            t_wr: 18,
+            t_rrds: 4,
+            t_rrdl: 6,
+            t_faw: 26,
+            t_refi: 9360,
+            t_rfc: 313,
+        }
+    }
+}
+
+impl TimingParams {
+    /// Read-to-write command gap on a shared data path.
+    pub fn rtw(&self) -> u64 {
+        self.t_cl + self.t_bl + 2 - self.t_cwl
+    }
+
+    /// Write-to-read command gap (same rank), by bank-group sameness.
+    pub fn wtr(&self, same_bankgroup: bool) -> u64 {
+        self.t_cwl + self.t_bl + if same_bankgroup { self.t_wtrl } else { self.t_wtrs }
+    }
+
+    /// CAS-to-CAS command gap by bank-group sameness.
+    pub fn ccd(&self, same_bankgroup: bool) -> u64 {
+        if same_bankgroup {
+            self.t_ccdl
+        } else {
+            self.t_ccds
+        }
+    }
+
+    /// ACT-to-ACT (different banks) by bank-group sameness.
+    pub fn rrd(&self, same_bankgroup: bool) -> u64 {
+        if same_bankgroup {
+            self.t_rrdl
+        } else {
+            self.t_rrds
+        }
+    }
+}
+
+/// Full DRAM system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct DramConfig {
+    pub geom: Geometry,
+    pub timing: TimingParams,
+    /// Issue all-bank refreshes every `t_refi` (off by default).
+    pub refresh: bool,
+}
+
+
+impl DramConfig {
+    /// DRAM clock frequency (Hz) — DDR4-2400 I/O clock, also the PIM clock
+    /// (Table II: PIMs run at 1.2 GHz).
+    pub const CLOCK_HZ: f64 = 1.2e9;
+
+    /// Peak data bandwidth of one channel in bytes/cycle (64-bit bus, DDR).
+    pub const CHANNEL_BYTES_PER_CYCLE: f64 = 16.0;
+
+    /// Convert DRAM cycles to seconds.
+    pub fn cycles_to_seconds(cycles: u64) -> f64 {
+        cycles as f64 / Self::CLOCK_HZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let t = TimingParams::default();
+        assert_eq!(t.t_bl, 4);
+        assert_eq!(t.t_ccds, 4);
+        assert_eq!(t.t_ccdl, 6);
+        assert_eq!(t.t_rtrs, 2);
+        assert_eq!(t.t_cl, 16);
+        assert_eq!(t.t_rcd, 16);
+        assert_eq!(t.t_rp, 16);
+        assert_eq!(t.t_ras, 39);
+        assert_eq!(t.t_rc, 55);
+        assert_eq!(t.t_rtp, 9);
+        assert_eq!(t.t_wtrs, 3);
+        assert_eq!(t.t_wtrl, 9);
+        assert_eq!(t.t_wr, 18);
+        assert_eq!(t.t_rrds, 4);
+        assert_eq!(t.t_rrdl, 6);
+        assert_eq!(t.t_faw, 26);
+    }
+
+    #[test]
+    fn derived_gaps_are_sane() {
+        let t = TimingParams::default();
+        assert_eq!(t.rtw(), 16 + 4 + 2 - 12);
+        assert_eq!(t.wtr(true), 12 + 4 + 9);
+        assert_eq!(t.wtr(false), 12 + 4 + 3);
+        assert!(t.ccd(true) > t.ccd(false));
+        assert!(t.rrd(true) > t.rrd(false));
+    }
+
+    #[test]
+    fn channel_bandwidth_is_ddr4_2400() {
+        // 16 B/cycle at 1.2 GHz = 19.2 GB/s per channel.
+        let gbps = DramConfig::CHANNEL_BYTES_PER_CYCLE * DramConfig::CLOCK_HZ / 1e9;
+        assert!((gbps - 19.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Interface for concurrent host (CPU) memory traffic injected alongside
+//! PIM execution — the colocation scenario of paper §V-G / Fig. 13.
+
+/// One host memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficReq {
+    /// Physical address of the cache block.
+    pub pa: u64,
+    pub write: bool,
+    /// Cycles after the previous request's issue slot that this one becomes
+    /// ready at the memory controller.
+    pub gap: u64,
+}
+
+/// Reborrow an optional traffic source for a shorter scope (works around
+/// trait-object lifetime invariance under `&mut` inside `Option`).
+pub fn reborrow<'s>(
+    t: &'s mut Option<&mut dyn TrafficSource>,
+) -> Option<&'s mut dyn TrafficSource> {
+    match t {
+        Some(x) => Some(&mut **x),
+        None => None,
+    }
+}
+
+/// A generator of host memory traffic. Implementations live in
+/// `stepstone-workloads` (SPEC-2017-like mixes).
+pub trait TrafficSource {
+    /// Produce the next request, or `None` if the stream is exhausted.
+    fn next_req(&mut self) -> Option<TrafficReq>;
+
+    /// Command-bus slots each request consumes (ACT/CAS/PRE share).
+    fn slots_per_request(&self) -> u64 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<TrafficReq>);
+    impl TrafficSource for Fixed {
+        fn next_req(&mut self) -> Option<TrafficReq> {
+            self.0.pop()
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut src: Box<dyn TrafficSource> =
+            Box::new(Fixed(vec![TrafficReq { pa: 64, write: false, gap: 3 }]));
+        assert_eq!(src.slots_per_request(), 2);
+        assert!(src.next_req().is_some());
+        assert!(src.next_req().is_none());
+    }
+}

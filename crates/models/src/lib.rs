@@ -1,0 +1,9 @@
+//! End-to-end DL inference models over StepStone PIM (paper §V-B, Fig. 8):
+//! DLRM (RM3), BERT, GPT2, and XLM operator graphs plus the seven-scheme
+//! executor (CPU / iCPU / PEI / nCHO / eCHO / STP* / STP).
+
+pub mod executor;
+pub mod layers;
+
+pub use executor::{Bucket, ModelExecutor, ModelReport, Scheme};
+pub use layers::{all_models, bert, dlrm, gpt2, xlm, ModelGraph, Op};

@@ -1,0 +1,18 @@
+//! StepStone PIM hardware component models: per-level unit configurations,
+//! scratchpad buffer planning, the host-side PIM controller's kernel-launch
+//! cost model, and the localization/reduction DMA engine plans
+//! (paper §III-A/B/E).
+//!
+//! The timed *execution* of these components against the DRAM simulator
+//! lives in `stepstone-core`; this crate owns the hardware parameters and
+//! the static plans derived from a GEMM's block-group analysis.
+
+pub mod controller;
+pub mod dma;
+pub mod levels;
+pub mod scratchpad;
+
+pub use controller::{KernelGranularity, LaunchModel};
+pub use dma::{region_blocks, LocalizationMode, TransferPlan};
+pub use levels::{PimLevelConfig, ELEMS_PER_BLOCK};
+pub use scratchpad::BufferPlan;

@@ -1,0 +1,58 @@
+//! Property tests for the scratchpad planner and transfer-plan algebra.
+
+use proptest::prelude::*;
+use stepstone_addr::{mapping_by_id, GroupAnalysis, MappingId, MatrixLayout, PimLevel};
+use stepstone_pim::{BufferPlan, TransferPlan};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_always_fits_and_covers(
+        rows_log in 4u32..12,
+        cols_log in 4u32..12,
+        n in 1usize..64,
+        scratch_log in 12u64..20,
+        mapping_ix in 0usize..5,
+        level_ix in 0usize..3,
+    ) {
+        let mapping = mapping_by_id(MappingId::from_index(mapping_ix));
+        let level = PimLevel::ALL[level_ix];
+        let layout = MatrixLayout::new_f32(0, 1 << rows_log, 1 << cols_log);
+        let ga = GroupAnalysis::analyze(&mapping, level, layout);
+        let scratch = 1u64 << scratch_log;
+        // Skip degenerate combinations the planner rejects by contract.
+        let min_need = (n as u64 * 4) + (16 * n as u64 * 4);
+        prop_assume!(scratch >= min_need);
+        let plan = BufferPlan::plan(scratch, n, &ga);
+        // Residency respects capacity.
+        let c = plan.c_rows_resident as u64 * n as u64 * 4;
+        let b = plan.b_cols_resident * 16 * n as u64 * 4;
+        prop_assert!(c + b <= scratch, "c={c} b={b} scratch={scratch}");
+        // Partitions tile the work.
+        prop_assert!(plan.rparts as u64 * plan.c_rows_resident as u64 >= ga.c_rows_per_pim() as u64);
+        prop_assert!(plan.cparts as u64 * plan.b_cols_resident >= ga.local_cols_per_group());
+        // Row partitions divide the matrix rows.
+        prop_assert!(layout.rows.is_multiple_of(plan.rparts as usize) || plan.rparts as usize > layout.rows);
+    }
+
+    #[test]
+    fn transfer_volumes_scale_linearly_with_batch(
+        rows_log in 4u32..10,
+        cols_log in 4u32..10,
+        mapping_ix in 0usize..5,
+    ) {
+        let mapping = mapping_by_id(MappingId::from_index(mapping_ix));
+        let layout = MatrixLayout::new_f32(0, 1 << rows_log, 1 << cols_log);
+        let ga = GroupAnalysis::analyze(&mapping, PimLevel::BankGroup, layout);
+        let t1 = TransferPlan::for_gemm(&ga, 1);
+        let t4 = TransferPlan::for_gemm(&ga, 4);
+        // Block counts scale with N (within rounding).
+        prop_assert!(t4.b_blocks_per_pim >= 4 * t1.b_blocks_per_pim.saturating_sub(1));
+        prop_assert!(t4.c_blocks_per_pim >= t1.c_blocks_per_pim);
+        // Replication algebra is batch-independent.
+        prop_assert_eq!(t1.sharing, t4.sharing);
+        prop_assert_eq!(t1.reduction, t4.reduction);
+        prop_assert_eq!(t1.active_pims, t4.active_pims);
+    }
+}

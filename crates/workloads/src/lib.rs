@@ -1,0 +1,10 @@
+//! Workload substrate: the paper's GEMM dimension catalog (Table I) and the
+//! synthetic colocated-CPU traffic generators standing in for the gem5 +
+//! SPEC CPU 2017 setup of §IV (see DESIGN.md §4 for the substitution
+//! rationale).
+
+pub mod catalog;
+pub mod traffic;
+
+pub use catalog::{default_weights, table1, CatalogEntry};
+pub use traffic::{spec_like_profiles, SyntheticTraffic, TrafficProfile};

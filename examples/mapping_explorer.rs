@@ -1,0 +1,54 @@
+//! Visualize how an XOR address mapping scatters a row-major weight matrix
+//! across PIM units, and how StepStone's block groups restore locality —
+//! the Fig. 2 / Fig. 4 mechanic.
+//!
+//! ```sh
+//! cargo run --release --example mapping_explorer [mapping-id 0..4]
+//! ```
+
+use stepstone::addr::{mapping_by_id, GroupAnalysis, MappingId, MatrixLayout, PimLevel};
+
+fn main() {
+    let id = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(MappingId::from_index)
+        .unwrap_or(MappingId::Skylake);
+    let mapping = mapping_by_id(id);
+    // The paper's Fig. 4 example: a 16×512 f32 matrix at physical address 0.
+    let layout = MatrixLayout::new_f32(0, 16, 512);
+    let ga = GroupAnalysis::analyze(&mapping, PimLevel::BankGroup, layout);
+
+    println!("mapping `{}` | 16x512 f32 weight matrix at PA 0", mapping.name());
+    println!(
+        "bank-group-level PIMs: {} active, {} block groups, sharing {}x, reduction {}x\n",
+        ga.active_pim_count(),
+        ga.n_groups(),
+        ga.sharing(),
+        ga.reduction()
+    );
+
+    // Block → PIM map (one row of glyphs per matrix row, like Fig. 2b).
+    println!("block -> PIM (hex digit) per matrix row; rows annotated with their group:");
+    for r in 0..layout.rows {
+        let mut line = String::new();
+        for kblk in 0..layout.blocks_per_row() {
+            let pim = ga.pim_of_block(r, kblk);
+            line.push(char::from_digit(pim, 16).expect("pim < 16"));
+        }
+        println!("row {r:2} (group {}): {line}", ga.group_of_row(r));
+    }
+
+    // Local column sets per group for PIM 0 — the "stepping stones".
+    let pim = ga.active_pims()[0];
+    println!("\nPIM {pim}: local column blocks per group:");
+    for g in 0..ga.n_groups() {
+        if ga.is_admissible(pim, g) {
+            println!("  group {g}: columns {:?}", ga.local_cols(pim, g));
+        }
+    }
+    println!(
+        "\nwithin a group every row has the same local columns — B panels are reused down \
+         the rows and C accumulators across the columns (paper §III-B)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate one datacenter-inference GEMM on all three
+//! StepStone PIM levels and print the Fig. 6-style phase breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stepstone::core::{simulate_gemm, CpuModel, GemmSpec, Phase, SystemConfig};
+use stepstone::prelude::PimLevel;
+
+fn main() {
+    // The paper's default workload: a 1024×4096 fp32 weight matrix
+    // multiplying a batch-4 activation panel (§V: "By default, we use
+    // 1024×4096 … we vary the batch size from 1 to 32").
+    let system = SystemConfig::default();
+    let gemm = GemmSpec::new(1024, 4096, 4);
+
+    println!("GEMM {gemm} under the {} address mapping\n", system.mapping().name());
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "backend", "GEMM", "fill(B)", "localize", "reduce", "total", "time(us)"
+    );
+    for level in PimLevel::ALL {
+        let r = simulate_gemm(&system, &gemm, level);
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10.1}",
+            format!("StepStone-{}", level.tag()),
+            r.phase(Phase::Gemm),
+            r.phase(Phase::FillB),
+            r.phase(Phase::Localization),
+            r.phase(Phase::Reduction),
+            r.total,
+            r.seconds() * 1e6,
+        );
+    }
+    let cpu = CpuModel::default();
+    let c = cpu.report(&gemm);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10.1}",
+        "CPU (Xeon-eq)", "-", "-", "-", "-", c.total, c.seconds() * 1e6
+    );
+
+    let bg = simulate_gemm(&system, &gemm, PimLevel::BankGroup);
+    println!(
+        "\nStepStone-BG speedup over the CPU: {:.1}x (paper: ~12x at batch 1)",
+        c.total as f64 / bg.total as f64
+    );
+}

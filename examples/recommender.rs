@@ -1,0 +1,52 @@
+//! A recommendation-inference serving scenario: run DLRM (RM3) end-to-end
+//! under every execution scheme of the paper's Fig. 8 and report latency
+//! and backend placement per scheme.
+//!
+//! ```sh
+//! cargo run --release --example recommender
+//! ```
+
+use stepstone::core::SystemConfig;
+use stepstone::models::{dlrm, Bucket, ModelExecutor, Scheme};
+
+fn main() {
+    let mut ex = ModelExecutor::new(SystemConfig::default());
+    let model = dlrm(4);
+    println!(
+        "DLRM (RM3): bottom MLP 2560-512-32, top MLP 512-128-1, batch 4 — {} GEMMs\n",
+        model.gemm_count()
+    );
+    println!(
+        "{:<6} {:>12} {:>10} {:>10} {:>10} {:>10}  placement",
+        "scheme", "cycles", "PIM_DV", "PIM_BG", "CPU_GEMM", "CPU_Other"
+    );
+    let mut baseline = 0u64;
+    for scheme in Scheme::ALL {
+        let r = ex.run(&model, scheme);
+        if scheme == Scheme::Cpu {
+            baseline = r.total_cycles;
+        }
+        let placement: Vec<String> = Bucket::ALL
+            .iter()
+            .zip(r.gemm_backend_counts)
+            .filter(|(_, c)| *c > 0)
+            .map(|(b, c)| format!("{}x{}", c, b.label()))
+            .collect();
+        println!(
+            "{:<6} {:>12} {:>10} {:>10} {:>10} {:>10}  {}",
+            scheme.label(),
+            r.total_cycles,
+            r.bucket(Bucket::PimDv),
+            r.bucket(Bucket::PimBg),
+            r.bucket(Bucket::CpuGemm),
+            r.bucket(Bucket::CpuOther),
+            placement.join(", "),
+        );
+    }
+    let stp = ex.run(&model, Scheme::Stp);
+    println!(
+        "\nStepStone speedup over the CPU: {:.1}x \
+         (paper §V-B: DLRM is dominated by one FC layer, which PIM accelerates)",
+        baseline as f64 / stp.total_cycles as f64
+    );
+}

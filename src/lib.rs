@@ -1,0 +1,48 @@
+//! StepStone PIM — a reproduction of "Accelerating Bandwidth-Bound Deep
+//! Learning Inference with Main-Memory Accelerators" (Cho, Jung, Erez,
+//! SC'21) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members under stable names so
+//! examples, integration tests, and downstream users can depend on a single
+//! crate:
+//!
+//! * [`addr`] — XOR address mappings, block groups, AGEN logic.
+//! * [`dram`] — cycle-level DDR4 timing simulator.
+//! * [`pim`] — PIM units, controller, DMA localization/reduction engine.
+//! * [`core`] — the StepStone GEMM flow, baselines, CPU/GPU models.
+//! * [`models`] — end-to-end DLRM / BERT / GPT2 / XLM inference.
+//! * [`energy`] — power and energy accounting.
+//! * [`workloads`] — GEMM catalog and colocated-CPU traffic generators.
+//! * [`roofline`] — roofline models for Figs. 1 and 7.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stepstone::prelude::*;
+//!
+//! // Simulate a batch-4 inference GEMM (1024×4096 weights) on bank-group
+//! // level PIMs under the Skylake address mapping.
+//! let system = SystemConfig::default();
+//! let gemm = GemmSpec::new(1024, 4096, 4);
+//! let report = simulate_gemm(&system, &gemm, PimLevel::BankGroup);
+//! assert!(report.total_cycles() > 0);
+//! ```
+
+pub use stepstone_addr as addr;
+pub use stepstone_core as core;
+pub use stepstone_dram as dram;
+pub use stepstone_energy as energy;
+pub use stepstone_models as models;
+pub use stepstone_pim as pim;
+pub use stepstone_roofline as roofline;
+pub use stepstone_workloads as workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use stepstone_addr::{
+        mapping_by_id, GroupAnalysis, MappingId, MatrixLayout, PimLevel, XorMapping,
+    };
+    pub use stepstone_core::{simulate_gemm, GemmSpec, LatencyReport, Phase, SystemConfig};
+    pub use stepstone_dram::{DramConfig, TimingParams};
+    pub use stepstone_pim::PimLevelConfig;
+}

@@ -1,0 +1,73 @@
+//! Smoke tests for the figure-regeneration harness: every table and figure
+//! of the paper's evaluation must build a non-empty result at quick scale.
+
+use stepstone_bench::figures;
+use stepstone_bench::Scale;
+
+fn assert_populated(f: &stepstone_bench::FigureResult, min_rows: usize) {
+    assert!(!f.tables.is_empty(), "{} has no tables", f.id);
+    let rows: usize = f.tables.iter().map(|(_, t)| t.rows.len()).sum();
+    assert!(rows >= min_rows, "{}: only {rows} rows", f.id);
+    // Rendering must not panic and must mention the id.
+    assert!(f.render().contains(&f.id));
+}
+
+#[test]
+fn table1_and_table2() {
+    assert_populated(&figures::table1::run(Scale::Quick), 10);
+    assert_populated(&figures::table2::run(Scale::Quick), 20);
+}
+
+#[test]
+fn fig1_and_fig7_rooflines() {
+    let f1 = figures::fig1::run(Scale::Quick);
+    assert_populated(&f1, 3);
+    let f7 = figures::fig7::run(Scale::Quick);
+    assert_populated(&f7, 2);
+}
+
+#[test]
+fn fig6_latency_breakdown() {
+    let f = figures::fig6::run(Scale::Quick);
+    assert_populated(&f, 6);
+    // Every simulated row's phase columns must sum close to its total.
+    let t = &f.tables[0].1;
+    for row in t.rows.iter().filter(|r| !r[0].starts_with("CPU")) {
+        let parts: u64 = row[1..7].iter().map(|c| c.parse::<u64>().unwrap()).sum();
+        let total: u64 = row[7].parse().unwrap();
+        assert!(parts <= total + total / 5, "{row:?}");
+        assert!(parts * 3 >= total, "breakdown too small: {row:?}");
+    }
+}
+
+#[test]
+fn fig8_end_to_end() {
+    let f = figures::fig8::run(Scale::Quick);
+    assert_populated(&f, 7);
+}
+
+#[test]
+fn fig9_fig10_fig11_fig12() {
+    assert_populated(&figures::fig9::run(Scale::Quick), 3);
+    assert_populated(&figures::fig10::run(Scale::Quick), 4);
+    assert_populated(&figures::fig11::run(Scale::Quick), 15);
+    assert_populated(&figures::fig12::run(Scale::Quick), 3);
+}
+
+#[test]
+fn fig13_colocation_and_fig14_energy() {
+    let f13 = figures::fig13::run(Scale::Quick);
+    assert_populated(&f13, 4);
+    // Speedups must all be >= ~1 (eCHO never beats StepStone here).
+    for row in &f13.tables[0].1.rows {
+        let s: f64 = row[4].trim_end_matches('x').parse().unwrap();
+        assert!(s > 0.9, "{row:?}");
+    }
+    assert_populated(&figures::fig14::run(Scale::Quick), 4);
+}
+
+#[test]
+fn ablations() {
+    let f = figures::ablations::run(Scale::Quick);
+    assert!(f.tables.len() >= 4);
+}

@@ -1,0 +1,74 @@
+//! Cross-crate functional validation: the full StepStone flow — XOR
+//! address mapping, block grouping, AGEN walks, localized-region layout,
+//! partial-C reduction — must compute bit-for-bit-meaningful GEMM results
+//! through the simulated memory system (the paper's §IV validation flow).
+
+use stepstone::addr::{MappingId, PimLevel};
+use stepstone::core::validate::validate_gemm;
+use stepstone::core::{GemmContext, GemmSpec, SimOptions, SystemConfig};
+use stepstone::pim::PimLevelConfig;
+
+fn check(sys: &SystemConfig, spec: GemmSpec, opts: SimOptions) {
+    let ctx = GemmContext::build(sys, &spec, &opts);
+    assert!(
+        validate_gemm(sys, &spec, &opts, &ctx),
+        "functional mismatch: {spec} {:?}",
+        opts.level_cfg.level
+    );
+}
+
+#[test]
+fn every_mapping_and_level_computes_correct_results() {
+    for id in MappingId::ALL {
+        let sys = SystemConfig::default().with_mapping(id);
+        for level in PimLevel::ALL {
+            check(&sys, GemmSpec::new(32, 512, 4), SimOptions::stepstone(level));
+        }
+    }
+}
+
+#[test]
+fn partitioned_execution_is_correct() {
+    let sys = SystemConfig::default();
+    for (scratch, level) in [(4u64 << 10, PimLevel::BankGroup), (8 << 10, PimLevel::Device)] {
+        let opts = SimOptions::stepstone(level)
+            .with_level_cfg(PimLevelConfig::nominal(level).with_scratchpad(scratch));
+        check(&sys, GemmSpec::new(128, 512, 8), opts);
+    }
+}
+
+#[test]
+fn subset_execution_is_correct() {
+    let sys = SystemConfig::default();
+    for drop in [1u32, 2] {
+        check(
+            &sys,
+            GemmSpec::new(64, 512, 4),
+            SimOptions::stepstone(PimLevel::BankGroup).with_subset(drop),
+        );
+    }
+}
+
+#[test]
+fn wide_and_tall_aspect_ratios_are_correct() {
+    let sys = SystemConfig::default();
+    // Short/fat and tall/thin (the Fig. 11 aspect extremes, scaled down).
+    check(&sys, GemmSpec::new(16, 2048, 4), SimOptions::stepstone(PimLevel::BankGroup));
+    check(&sys, GemmSpec::new(512, 64, 4), SimOptions::stepstone(PimLevel::BankGroup));
+}
+
+#[test]
+fn simulation_with_inline_validation_passes() {
+    // The timing simulation itself can run with validation enabled.
+    let sys = SystemConfig::default().with_validation();
+    let r = stepstone::core::simulate_gemm(&sys, &GemmSpec::new(64, 256, 2), PimLevel::Device);
+    assert!(r.total > 0);
+}
+
+#[test]
+fn batch_sizes_from_one_to_thirtytwo_are_correct() {
+    let sys = SystemConfig::default();
+    for n in [1usize, 2, 8, 32] {
+        check(&sys, GemmSpec::new(32, 256, n), SimOptions::stepstone(PimLevel::BankGroup));
+    }
+}

@@ -1,0 +1,54 @@
+//! End-to-end model execution invariants across the seven Fig. 8 schemes.
+
+use stepstone::core::SystemConfig;
+use stepstone::models::{bert, dlrm, Bucket, ModelExecutor, Scheme};
+
+#[test]
+fn all_schemes_complete_on_dlrm() {
+    let mut ex = ModelExecutor::new(SystemConfig::default());
+    let model = dlrm(4);
+    let mut totals = Vec::new();
+    for scheme in Scheme::ALL {
+        let r = ex.run(&model, scheme);
+        assert!(r.total_cycles > 0, "{scheme:?}");
+        assert_eq!(r.model, "DLRM");
+        totals.push((scheme, r.total_cycles));
+    }
+    // The ordering the paper's Fig. 8 shows for the PIM approaches.
+    let get = |s: Scheme| totals.iter().find(|(x, _)| *x == s).unwrap().1;
+    assert!(get(Scheme::Stp) <= get(Scheme::Echo));
+    assert!(get(Scheme::Echo) <= get(Scheme::Ncho));
+    assert!(get(Scheme::Stp) < get(Scheme::Pei));
+    assert!(get(Scheme::Stp) < get(Scheme::ICpu));
+    assert!(get(Scheme::ICpu) < get(Scheme::Cpu));
+}
+
+#[test]
+fn stp_star_uses_only_device_level() {
+    let mut ex = ModelExecutor::new(SystemConfig::default());
+    let r = ex.run(&dlrm(4), Scheme::StpStar);
+    assert_eq!(r.bucket(Bucket::PimBg), 0, "STP* is the low-power DV-only mode");
+}
+
+#[test]
+fn bert_stp_speedup_is_large() {
+    // Paper §V-B: "StepStone PIM achieves 12× higher performance than the
+    // CPU for BERT"; accept a broad band around it.
+    let mut ex = ModelExecutor::new(SystemConfig::default());
+    let model = bert(4);
+    let cpu = ex.run(&model, Scheme::Cpu).total_cycles;
+    let stp = ex.run(&model, Scheme::Stp).total_cycles;
+    let speedup = cpu as f64 / stp as f64;
+    assert!((4.0..25.0).contains(&speedup), "BERT CPU/STP = {speedup}");
+}
+
+#[test]
+fn cpu_other_is_identical_across_schemes() {
+    // Non-GEMM operators always run on the CPU, so their contribution must
+    // not depend on the scheme.
+    let mut ex = ModelExecutor::new(SystemConfig::default());
+    let model = dlrm(4);
+    let other: Vec<u64> =
+        Scheme::ALL.iter().map(|&s| ex.run(&model, s).bucket(Bucket::CpuOther)).collect();
+    assert!(other.windows(2).all(|w| w[0] == w[1]), "{other:?}");
+}
