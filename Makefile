@@ -1,0 +1,27 @@
+# Developer entry points. `just` users: see justfile (same targets).
+
+.PHONY: build test bench-smoke bench-paper
+
+build:
+	cargo build --release
+
+test:
+	cargo test --workspace -q
+
+# Build release, run the simulator hot-path bench on a small config, and
+# fail if BENCH_sim.json is missing or malformed.
+bench-smoke:
+	cargo build --release -p stepstone-bench --bin bench_sim
+	rm -f BENCH_sim.json
+	./target/release/bench_sim --quick
+	@test -s BENCH_sim.json || { echo "bench-smoke: BENCH_sim.json missing"; exit 1; }
+	@python3 -c "import json,sys; d=json.load(open('BENCH_sim.json')); \
+assert d['bench']=='sim_hot_path', 'bad bench id'; \
+assert d['cycle_exact'] is True, 'modes disagree'; \
+assert len(d['runs'])==2 and all(r['blocks']>0 and r['wall_ns']>0 for r in d['runs']), 'bad runs'; \
+print('bench-smoke: BENCH_sim.json ok (speedup %.2fx)'%d['speedup_streaming_vs_seed'])"
+
+# The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
+bench-paper:
+	cargo build --release -p stepstone-bench --bin bench_sim
+	./target/release/bench_sim

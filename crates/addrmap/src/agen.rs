@@ -112,6 +112,90 @@ impl Iterator for NaiveAgen {
     }
 }
 
+/// A run of contiguous satisfying blocks: `len` blocks starting at
+/// `start_pa`, where only the first block paid a full corrector step
+/// (`iterations`); the rest are plain increments (1 iteration each).
+///
+/// Runs are *guaranteed* — every address in `[start_pa, start_pa + 64·len)`
+/// satisfies the constraints because no constrained bit changes inside the
+/// run — but not necessarily maximal: two adjacent spans may abut when the
+/// increment across the boundary happens to keep all parities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgenSpan {
+    pub start_pa: u64,
+    /// Number of blocks in the run (≥ 1).
+    pub len: u64,
+    /// AGEN iterations charged for the first block of the run.
+    pub iterations: u32,
+}
+
+/// One candidate bit position of the corrector, pre-echelonized so a
+/// successor query only evaluates parities (no per-call `Gf2System`).
+///
+/// For position `p`, the solvable system is `(cs[i].mask & low_mask)·x =
+/// rhs[i]` where only `rhs` depends on the candidate base address. Rows
+/// store which original constraints were folded together (`sources`), so
+/// the query-time RHS of each echelon row is a parity over the per-call
+/// constraint RHS bits.
+#[derive(Debug, Clone, Default)]
+struct PreparedLevel {
+    /// Reduced-echelon rows: (non-zero coefficient mask, source-constraint
+    /// bitmask).
+    rows: Vec<(u64, u32)>,
+    /// Source masks of rows that eliminated to zero coefficients: the
+    /// system is consistent iff each has even RHS parity.
+    zero_rows: Vec<u32>,
+}
+
+impl PreparedLevel {
+    fn prepare(cs: &[ParityConstraint], p: u32) -> Self {
+        let low_mask = (1u64 << p) - 1;
+        let mut lvl = PreparedLevel::default();
+        for (i, c) in cs.iter().enumerate() {
+            let mut coeff = c.mask & low_mask;
+            let mut src = 1u32 << i;
+            for &(rc, rs) in &lvl.rows {
+                if coeff & (rc & rc.wrapping_neg()) != 0 {
+                    coeff ^= rc;
+                    src ^= rs;
+                }
+            }
+            if coeff == 0 {
+                lvl.zero_rows.push(src);
+                continue;
+            }
+            let lead = coeff & coeff.wrapping_neg();
+            for (rc, rs) in &mut lvl.rows {
+                if *rc & lead != 0 {
+                    *rc ^= coeff;
+                    *rs ^= src;
+                }
+            }
+            lvl.rows.push((coeff, src));
+        }
+        lvl
+    }
+
+    /// Minimal solution for the given per-constraint RHS bits, or `None`
+    /// if inconsistent. Equivalent to `Gf2System::min_solution` on the
+    /// same equations.
+    #[inline]
+    fn min_solution(&self, rhs_bits: u32) -> Option<u64> {
+        for &z in &self.zero_rows {
+            if (rhs_bits & z).count_ones() & 1 == 1 {
+                return None;
+            }
+        }
+        let mut x = 0u64;
+        for &(c, s) in &self.rows {
+            if (rhs_bits & s).count_ones() & 1 == 1 {
+                x |= c & c.wrapping_neg();
+            }
+        }
+        Some(x)
+    }
+}
+
 /// The StepStone increment-correct-and-check generator.
 #[derive(Debug, Clone)]
 pub struct StepStoneAgen {
@@ -121,9 +205,25 @@ pub struct StepStoneAgen {
     /// `unit_start[u]` = lowest bit position of compressed iteration unit
     /// `u`, per the active rules.
     unit_starts: Vec<u32>,
-    next_lower_bound: u64,
+    /// Precomputed corrector systems indexed by `p - BLOCK_SHIFT`.
+    levels: Vec<PreparedLevel>,
+    /// Byte span over which no constrained bit changes (`1 << sbits[0]`).
+    run_bytes: u64,
+    /// Next block to emit within the current guaranteed run.
+    cur: u64,
+    /// Exclusive end of the current run.
+    span_end: u64,
+    /// Iterations owed by the next emitted block (first block of a run).
+    pending_iters: u32,
+    /// Last emitted address (successor scan base), or `start` before the
+    /// first emission.
+    last_pa: u64,
     started: bool,
+    exhausted: bool,
     end: u64,
+    /// Use the seed-era per-call `Gf2System` corrector instead of the
+    /// prepared levels (benchmark baseline; identical output).
+    uncached_corrector: bool,
 }
 
 impl StepStoneAgen {
@@ -144,12 +244,46 @@ impl StepStoneAgen {
             u &= u - 1;
         }
         let unit_starts = compress_units(&cs, &sbits, rules);
-        Self { cs, sbits, unit_starts, next_lower_bound: start, started: false, end }
+        // Highest position the successor scan can visit for any x < end.
+        let hi = 63 - end.max(1).leading_zeros().min(57);
+        let p_max = hi.max(sbits.last().copied().unwrap_or(6)) + 2;
+        let levels = (crate::geometry::BLOCK_SHIFT..=p_max)
+            .map(|p| PreparedLevel::prepare(&cs, p))
+            .collect();
+        let run_bytes = sbits.first().map_or(u64::MAX, |&b| 1 << b);
+        Self {
+            cs,
+            sbits,
+            unit_starts,
+            levels,
+            run_bytes,
+            cur: 0,
+            span_end: 0,
+            pending_iters: 0,
+            last_pa: start,
+            started: false,
+            exhausted: false,
+            end,
+            uncached_corrector: false,
+        }
+    }
+
+    /// Switch to the seed-era corrector that rebuilds a [`Gf2System`] per
+    /// candidate position. Output is identical; kept as the benchmark
+    /// baseline for the prepared-level corrector.
+    pub fn use_uncached_corrector(mut self) -> Self {
+        self.uncached_corrector = true;
+        self
     }
 
     /// Number of compressed iteration units (hardware loop bound).
     pub fn unit_count(&self) -> usize {
         self.unit_starts.len()
+    }
+
+    /// Consume the generator as batched runs of contiguous blocks.
+    pub fn spans(self) -> Spans {
+        Spans { agen: self }
     }
 
     /// Hardware iterations charged for a step that won at bit position `p`:
@@ -184,21 +318,19 @@ impl StepStoneAgen {
                     break;
                 }
             }
-            let low_mask = (1u64 << p) - 1;
-            let mut sys = Gf2System::new();
-            let mut consistent = true;
-            for c in &self.cs {
-                let coeff = c.mask & low_mask;
-                let rhs = c.parity ^ ((base & c.mask & !low_mask).count_ones() & 1 == 1);
-                if !sys.add(coeff, rhs) {
-                    consistent = false;
-                    break;
+            let fix = if self.uncached_corrector {
+                self.solve_uncached(base, p)
+            } else {
+                // `base` has no bits below `p`, so each constraint's RHS is
+                // its parity corrected by the prefix contribution.
+                let mut rhs_bits = 0u32;
+                for (i, c) in self.cs.iter().enumerate() {
+                    let prefix = ((base & c.mask).count_ones() & 1) as u32;
+                    rhs_bits |= (c.parity as u32 ^ prefix) << i;
                 }
-            }
-            if !consistent {
-                continue;
-            }
-            let fix = sys.min_solution().expect("consistent system has a solution");
+                self.levels[(p - crate::geometry::BLOCK_SHIFT) as usize].min_solution(rhs_bits)
+            };
+            let Some(fix) = fix else { continue };
             let cand = base | fix;
             debug_assert!(cand > x);
             debug_assert!(satisfies(cand, &self.cs));
@@ -208,29 +340,103 @@ impl StepStoneAgen {
         }
         best
     }
+
+    /// The seed-era corrector: build and solve a fresh GF(2) system.
+    fn solve_uncached(&self, base: u64, p: u32) -> Option<u64> {
+        let low_mask = (1u64 << p) - 1;
+        let mut sys = Gf2System::new();
+        for c in &self.cs {
+            let coeff = c.mask & low_mask;
+            let rhs = c.parity ^ ((base & c.mask & !low_mask).count_ones() & 1 == 1);
+            if !sys.add(coeff, rhs) {
+                return None;
+            }
+        }
+        Some(sys.min_solution().expect("consistent system has a solution"))
+    }
+
+    /// Locate the next guaranteed run after the current one; `false` when
+    /// the walk is exhausted.
+    fn advance_span(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let found = if !self.started {
+            self.started = true;
+            if self.last_pa >= self.end {
+                None
+            } else if satisfies(self.last_pa, &self.cs) {
+                Some((self.last_pa, 1))
+            } else {
+                self.successor(self.last_pa)
+            }
+        } else {
+            self.successor(self.last_pa)
+        };
+        let Some((pa, iterations)) = found else {
+            self.exhausted = true;
+            return false;
+        };
+        if pa >= self.end {
+            self.exhausted = true;
+            return false;
+        }
+        // All blocks up to the next constrained-bit boundary share every
+        // mask parity with `pa`, so the whole run satisfies.
+        let boundary = if self.run_bytes == u64::MAX {
+            u64::MAX
+        } else {
+            ((pa >> self.sbits[0]) + 1) << self.sbits[0]
+        };
+        let end_aligned = self.end.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        self.cur = pa;
+        self.span_end = boundary.min(end_aligned);
+        self.pending_iters = iterations;
+        self.last_pa = self.span_end - BLOCK_BYTES;
+        true
+    }
 }
 
 impl Iterator for StepStoneAgen {
     type Item = AgenStep;
 
     fn next(&mut self) -> Option<AgenStep> {
-        let (pa, iterations) = if !self.started {
-            self.started = true;
-            if self.next_lower_bound < self.end && satisfies(self.next_lower_bound, &self.cs) {
-                (self.next_lower_bound, 1)
-            } else if self.next_lower_bound >= self.end {
-                return None;
-            } else {
-                self.successor(self.next_lower_bound)?
-            }
-        } else {
-            self.successor(self.next_lower_bound)?
-        };
-        if pa >= self.end {
+        if self.cur >= self.span_end && !self.advance_span() {
             return None;
         }
-        self.next_lower_bound = pa;
+        let pa = self.cur;
+        self.cur += BLOCK_BYTES;
+        let iterations = if self.pending_iters != 0 {
+            std::mem::take(&mut self.pending_iters)
+        } else {
+            1
+        };
         Some(AgenStep { pa, iterations })
+    }
+}
+
+/// Batched-run view of a [`StepStoneAgen`] (see [`AgenSpan`]).
+#[derive(Debug, Clone)]
+pub struct Spans {
+    agen: StepStoneAgen,
+}
+
+impl Iterator for Spans {
+    type Item = AgenSpan;
+
+    fn next(&mut self) -> Option<AgenSpan> {
+        let a = &mut self.agen;
+        if a.cur >= a.span_end && !a.advance_span() {
+            return None;
+        }
+        let span = AgenSpan {
+            start_pa: a.cur,
+            len: (a.span_end - a.cur) / BLOCK_BYTES,
+            iterations: if a.pending_iters != 0 { a.pending_iters } else { 1 },
+        };
+        a.cur = a.span_end;
+        a.pending_iters = 0;
+        Some(span)
     }
 }
 

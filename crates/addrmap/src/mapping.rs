@@ -59,7 +59,22 @@ pub struct XorMapping {
     /// Inverse map: coordinate-bit vector → block-address bits.
     #[serde(skip)]
     inverse: Option<Gf2Matrix>,
+    /// Byte-indexed XOR tables for [`XorMapping::decode`]: one 256-entry
+    /// table per PA byte, each entry the packed-coordinate contribution of
+    /// that byte value. Decode is then 8 lookups + XORs instead of ~30
+    /// mask/popcount gathers. Empty when a field exceeds the packed widths
+    /// (falls back to the gather path).
+    #[serde(skip)]
+    decode_lut: Vec<[u64; 256]>,
 }
+
+/// Packed-coordinate bit offsets used by the decode LUT
+/// (col 8b | bank 4b | bankgroup 4b | rank 3b | channel 3b | row 32b).
+const PACK_BANK: u32 = 8;
+const PACK_BG: u32 = 12;
+const PACK_RANK: u32 = 16;
+const PACK_CH: u32 = 19;
+const PACK_ROW: u32 = 22;
 
 impl XorMapping {
     /// Build a mapping from one [`BitSpec`] per block-address bit, starting at
@@ -125,13 +140,59 @@ impl XorMapping {
             ch_masks: collect(Field::Channel),
             row_masks: collect(Field::Row),
             inverse: None,
+            decode_lut: Vec::new(),
         };
         let fwd = m.forward_matrix();
         let inv = fwd
             .inverse()
             .unwrap_or_else(|| panic!("mapping `{name}` is not invertible"));
         m.inverse = Some(inv);
+        m.build_decode_lut();
         m
+    }
+
+    /// Precompute the byte-indexed decode tables (see `decode_lut`).
+    fn build_decode_lut(&mut self) {
+        let fits = self.col_masks.len() <= 8
+            && self.bank_masks.len() <= 4
+            && self.bg_masks.len() <= 4
+            && self.rank_masks.len() <= 3
+            && self.ch_masks.len() <= 3
+            && self.row_masks.len() <= 32;
+        if !fits {
+            self.decode_lut = Vec::new();
+            return;
+        }
+        // Packed contribution of each single PA bit.
+        let mut bit_contrib = [0u64; 64];
+        let mut add = |masks: &[u64], shift: u32| {
+            for (i, &m) in masks.iter().enumerate() {
+                let mut mm = m;
+                while mm != 0 {
+                    bit_contrib[mm.trailing_zeros() as usize] ^= 1u64 << (shift + i as u32);
+                    mm &= mm - 1;
+                }
+            }
+        };
+        add(&self.col_masks, 0);
+        add(&self.bank_masks, PACK_BANK);
+        add(&self.bg_masks, PACK_BG);
+        add(&self.rank_masks, PACK_RANK);
+        add(&self.ch_masks, PACK_CH);
+        add(&self.row_masks, PACK_ROW);
+        let mut lut = vec![[0u64; 256]; 8];
+        for (byte, table) in lut.iter_mut().enumerate() {
+            for (v, entry) in table.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for b in 0..8 {
+                    if v >> b & 1 == 1 {
+                        acc ^= bit_contrib[byte * 8 + b];
+                    }
+                }
+                *entry = acc;
+            }
+        }
+        self.decode_lut = lut;
     }
 
     /// The PA-bit → coordinate-bit matrix (rows in canonical field order).
@@ -178,7 +239,32 @@ impl XorMapping {
     }
 
     /// Decode a physical (byte) address into its DRAM coordinate.
+    #[inline]
     pub fn decode(&self, pa: u64) -> DramCoord {
+        if let Some(lut) = self.decode_lut.first_chunk::<8>() {
+            let p = lut[0][(pa & 0xFF) as usize]
+                ^ lut[1][(pa >> 8 & 0xFF) as usize]
+                ^ lut[2][(pa >> 16 & 0xFF) as usize]
+                ^ lut[3][(pa >> 24 & 0xFF) as usize]
+                ^ lut[4][(pa >> 32 & 0xFF) as usize]
+                ^ lut[5][(pa >> 40 & 0xFF) as usize]
+                ^ lut[6][(pa >> 48 & 0xFF) as usize]
+                ^ lut[7][(pa >> 56 & 0xFF) as usize];
+            return DramCoord {
+                channel: (p >> PACK_CH & 0x7) as u32,
+                rank: (p >> PACK_RANK & 0x7) as u32,
+                bankgroup: (p >> PACK_BG & 0xF) as u32,
+                bank: (p >> PACK_BANK & 0xF) as u32,
+                row: (p >> PACK_ROW) as u32,
+                col: (p & 0xFF) as u32,
+            };
+        }
+        self.decode_gather(pa)
+    }
+
+    /// The mask/popcount gather fallback (geometries whose fields exceed
+    /// the packed LUT widths).
+    fn decode_gather(&self, pa: u64) -> DramCoord {
         let gather = |masks: &[u64]| -> u32 {
             let mut v = 0u32;
             for (i, &m) in masks.iter().enumerate() {

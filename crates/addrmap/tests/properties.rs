@@ -149,6 +149,50 @@ proptest! {
     }
 
     #[test]
+    fn agen_spans_flatten_to_the_naive_sequence(
+        masks in proptest::collection::vec((1u64..(1 << 14), any::<bool>()), 1..5),
+        start_blk in 0u64..64,
+    ) {
+        // The batched-span fast path must cover exactly the naive per-block
+        // walk: flattened spans give the same addresses, and the first
+        // block of each span carries the whole corrector cost while the
+        // rest are single-iteration increments.
+        let cs: Vec<ParityConstraint> = masks
+            .iter()
+            .map(|&(m, p)| ParityConstraint { mask: (m << BLOCK_SHIFT) & !63, parity: p })
+            .filter(|c| c.mask != 0)
+            .collect();
+        let start = start_blk << BLOCK_SHIFT;
+        let end = start + (1 << 16);
+        let naive: Vec<_> = NaiveAgen::new(cs.clone(), start, end).collect();
+        let mut flattened = Vec::new();
+        for span in StepStoneAgen::new(cs.clone(), start, end).spans() {
+            prop_assert!(span.len >= 1);
+            for i in 0..span.len {
+                flattened.push(span.start_pa + i * 64);
+            }
+        }
+        prop_assert_eq!(
+            naive.iter().map(|s| s.pa).collect::<Vec<_>>(),
+            flattened
+        );
+        // Per-step parity with the per-block iterator: same addresses, and
+        // only a span's first block carries the corrector cost.
+        let per_block: Vec<_> = StepStoneAgen::new(cs.clone(), start, end).collect();
+        prop_assert_eq!(per_block.len(), naive.len());
+        let mut it = per_block.iter();
+        for span in StepStoneAgen::new(cs, start, end).spans() {
+            for i in 0..span.len {
+                let step = it.next().expect("same length");
+                prop_assert_eq!(step.pa, span.start_pa + i * 64);
+                let expect_iters = if i == 0 { span.iterations } else { 1 };
+                prop_assert_eq!(step.iterations, expect_iters);
+            }
+        }
+        prop_assert!(it.next().is_none());
+    }
+
+    #[test]
     fn agen_rules_do_not_change_the_sequence(
         m in random_mapping(),
         rows_log in 2u32..4,

@@ -1,0 +1,142 @@
+//! End-to-end simulator hot-path benchmark: streaming step programs vs the
+//! seed's materialize-then-replay path, on a paper-scale GEMM.
+//!
+//! Emits `BENCH_sim.json` (in the working directory) so the perf
+//! trajectory of the simulation hot path is tracked from PR to PR:
+//!
+//! ```json
+//! {
+//!   "bench": "sim_hot_path",
+//!   "config": {"m":…, "k":…, "n":…, "level":"BG"},
+//!   "runs": [{"mode":…, "wall_ns":…, "blocks":…, "ns_per_block":…,
+//!             "sim_cycles":…, "peak_resident_steps":…}, …],
+//!   "speedup_streaming_vs_seed": …,
+//!   "cycle_exact": true
+//! }
+//! ```
+//!
+//! Usage: `bench_sim [--quick] [M K N]`. `--quick` (or
+//! `STEPSTONE_SCALE=quick`) runs a reduced shape for smoke tests.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use stepstone_addr::PimLevel;
+use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
+use stepstone_core::flow::build_kernel_program_for;
+use stepstone_core::{
+    simulate_pow2_gemm_exec, ExecMode, GemmContext, GemmSpec, LatencyReport, SimOptions,
+    SystemConfig,
+};
+
+struct Run {
+    mode: &'static str,
+    wall_ns: u128,
+    sim_cycles: u64,
+    blocks: u64,
+    peak_resident_steps: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("STEPSTONE_SCALE").as_deref() == Ok("quick");
+    let dims: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (m, k, n) = match dims.as_slice() {
+        [m, k, n, ..] => (*m, *k, *n),
+        _ if quick => (512, 2048, 8),
+        _ => (4096, 4096, 256),
+    };
+    let level = PimLevel::BankGroup;
+    let sys = SystemConfig::default();
+    let spec = GemmSpec::new(m, k, n);
+    assert!(spec.is_pow2(), "bench uses a single power-of-two GEMM");
+    let opts = SimOptions::stepstone(level);
+
+    // Resident-step accounting, outside the timed region. Streaming holds
+    // at most the reorder window per unit; the materialized path holds the
+    // whole kernel program per unit.
+    let ctx = GemmContext::build(&sys, &spec, &opts);
+    let units = ctx.active_pims.len() as u64;
+    let window_cap = (opts.level_cfg.pipeline_depth as u64 / 2).clamp(1, 8);
+    let materialized_steps: u64 = (0..ctx.active_pims.len())
+        .map(|pix| build_kernel_program_for(&ctx, &sys, &opts, pix).len() as u64)
+        .sum();
+    drop(ctx);
+
+    println!("bench_sim: {m}x{k} N={n} STP-{} ({} PIMs)", level.tag(), units);
+    let mut runs = Vec::new();
+    type SimFn = Box<dyn Fn() -> LatencyReport>;
+    let cases: Vec<(&'static str, u64, SimFn)> = vec![
+        (
+            "streaming",
+            units * (window_cap + 1),
+            Box::new({
+                let (sys, spec, opts) = (sys.clone(), spec, opts.clone());
+                move || simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming)
+            }),
+        ),
+        (
+            "seed-replay",
+            materialized_steps,
+            Box::new({
+                let (sys, spec, opts) = (sys.clone(), spec, opts.clone());
+                move || simulate_pow2_gemm_seed(&sys, &spec, &opts)
+            }),
+        ),
+    ];
+    for (label, resident, sim) in cases {
+        let t0 = Instant::now();
+        let report = sim();
+        let wall_ns = t0.elapsed().as_nanos();
+        let blocks = report.dram.accesses();
+        println!(
+            "  {label:<18} {:>8.1} ms  {:>7.1} ns/block  ({blocks} blocks, {} sim cycles, \
+             {resident} resident steps)",
+            wall_ns as f64 / 1e6,
+            wall_ns as f64 / blocks as f64,
+            report.total,
+        );
+        runs.push(Run {
+            mode: label,
+            wall_ns,
+            sim_cycles: report.total,
+            blocks,
+            peak_resident_steps: resident,
+        });
+    }
+
+    let cycle_exact = runs.windows(2).all(|w| {
+        w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
+    });
+    assert!(cycle_exact, "execution modes disagree on simulated cycles/blocks");
+    let speedup = runs[1].wall_ns as f64 / runs[0].wall_ns as f64;
+    println!("  speedup streaming vs seed path: {speedup:.2}x (cycle-exact: {cycle_exact})");
+
+    let mut json = String::from("{\n  \"bench\": \"sim_hot_path\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"level\": \"{}\", \"pims\": {units}}},",
+        level.tag()
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"wall_ns\": {}, \"sim_cycles\": {}, \"blocks\": {}, \
+             \"ns_per_block\": {:.2}, \"peak_resident_steps\": {}}}",
+            r.mode,
+            r.wall_ns,
+            r.sim_cycles,
+            r.blocks,
+            r.wall_ns as f64 / r.blocks as f64,
+            r.peak_resident_steps,
+        );
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_streaming_vs_seed\": {speedup:.3},");
+    let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("  [saved BENCH_sim.json]");
+}

@@ -5,6 +5,23 @@
 use crate::output::{FigureResult, Scale, Table};
 use stepstone_roofline::{cpu_roofline, gpu_device_roofline, gpu_host_roofline, sweep_cpu, sweep_gpu};
 
+/// The three device sweeps are independent; run them concurrently.
+fn sweeps(
+    m: usize,
+    k: usize,
+    batches: &[usize],
+) -> (
+    Vec<stepstone_roofline::SweepPoint>,
+    Vec<stepstone_roofline::SweepPoint>,
+    Vec<stepstone_roofline::SweepPoint>,
+) {
+    let (cpu, (gdev, ghost)) = rayon::join(
+        || sweep_cpu(m, k, batches),
+        || rayon::join(|| sweep_gpu(m, k, batches, false), || sweep_gpu(m, k, batches, true)),
+    );
+    (cpu, gdev, ghost)
+}
+
 pub fn run(scale: Scale) -> FigureResult {
     let batches: Vec<usize> = match scale {
         Scale::Full => (0..=10).map(|i| 1usize << i).collect(),
@@ -18,9 +35,7 @@ pub fn run(scale: Scale) -> FigureResult {
         gpu_host_roofline().ridge()
     ));
     let mut t = Table::new(vec!["N", "OI (F/B)", "CPU GF/s", "GPU(dev) GF/s", "GPU(host) GF/s"]);
-    let cpu = sweep_cpu(1024, 4096, &batches);
-    let gdev = sweep_gpu(1024, 4096, &batches, false);
-    let ghost = sweep_gpu(1024, 4096, &batches, true);
+    let (cpu, gdev, ghost) = sweeps(1024, 4096, &batches);
     for i in 0..batches.len() {
         t.row(vec![
             batches[i].to_string(),

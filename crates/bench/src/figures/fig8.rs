@@ -4,6 +4,7 @@
 
 use crate::figures::baseline_system;
 use crate::output::{FigureResult, Scale, Table};
+use rayon::prelude::*;
 use stepstone_models::{bert, dlrm, gpt2, xlm, Bucket, ModelExecutor, ModelGraph, Scheme};
 
 pub fn models_for(scale: Scale) -> Vec<ModelGraph> {
@@ -15,16 +16,34 @@ pub fn models_for(scale: Scale) -> Vec<ModelGraph> {
 
 pub fn run(scale: Scale) -> FigureResult {
     let mut fig = FigureResult::new("fig8", "End-to-end model latency, 7 schemes");
-    let mut ex = ModelExecutor::new(baseline_system());
     let mut t = Table::new(vec![
         "model", "scheme", "PIM_DV", "PIM_BG", "CPU_GEMM", "CPU_Other", "total", "norm(iCPU)",
     ]);
-    for model in models_for(scale) {
-        let icpu_total = ex.run(&model, Scheme::ICpu).total_cycles as f64;
-        let mut cpu_over_stp = 0.0;
-        let mut stp_total = 0;
-        for scheme in Scheme::ALL {
-            let r = ex.run(&model, scheme);
+    // One (model, scheme) simulation per job; each gets its own executor so
+    // the layer cache still hits within a job. Result order matches the
+    // serial loops, so the table is byte-identical.
+    let models = models_for(scale);
+    let jobs: Vec<(usize, Scheme)> = (0..models.len())
+        .flat_map(|mix| Scheme::ALL.map(|s| (mix, s)))
+        .collect();
+    let reports: Vec<_> = jobs
+        .into_par_iter()
+        .map(|(mix, scheme)| {
+            let mut ex = ModelExecutor::new(baseline_system());
+            (mix, scheme, ex.run(&models[mix], scheme))
+        })
+        .collect();
+    for (mix, model) in models.iter().enumerate() {
+        let per_model: Vec<_> = reports.iter().filter(|(i, _, _)| *i == mix).collect();
+        let total_of = |want: Scheme| {
+            per_model
+                .iter()
+                .find(|(_, s, _)| *s == want)
+                .map(|(_, _, r)| r.total_cycles)
+                .expect("every scheme simulated")
+        };
+        let icpu_total = total_of(Scheme::ICpu) as f64;
+        for (_, scheme, r) in &per_model {
             t.row(vec![
                 model.name.to_string(),
                 scheme.label().to_string(),
@@ -35,16 +54,11 @@ pub fn run(scale: Scale) -> FigureResult {
                 r.total_cycles.to_string(),
                 format!("{:.3}", r.total_cycles as f64 / icpu_total),
             ]);
-            match scheme {
-                Scheme::Stp => stp_total = r.total_cycles,
-                Scheme::Cpu => cpu_over_stp = r.total_cycles as f64,
-                _ => {}
-            }
         }
         fig.note(format!(
             "{}: CPU/STP = {:.1}x (paper headline: up to 16x; BERT 12x)",
             model.name,
-            cpu_over_stp / stp_total as f64
+            total_of(Scheme::Cpu) as f64 / total_of(Scheme::Stp) as f64
         ));
     }
     fig.table("cycles by Fig. 8 stack category", t);

@@ -1,18 +1,25 @@
 //! Table I: common DL-inference GEMM dimensions.
 
 use crate::output::{FigureResult, Scale, Table};
+use rayon::prelude::*;
 use stepstone_workloads::table1;
 
 pub fn run(_scale: Scale) -> FigureResult {
     let mut fig = FigureResult::new("table1", "Common DL-inference GEMM dimensions");
     let mut t = Table::new(vec!["Model", "Layer", "Weights (MxK)", "Batch sizes"]);
-    for e in table1() {
-        t.row(vec![
-            e.model.to_string(),
-            e.layer.to_string(),
-            format!("{}x{}", e.m, e.k),
-            format!("{}-{}", e.batch_range.0, e.batch_range.1),
-        ]);
+    let rows: Vec<Vec<String>> = table1()
+        .into_par_iter()
+        .map(|e| {
+            vec![
+                e.model.to_string(),
+                e.layer.to_string(),
+                format!("{}x{}", e.m, e.k),
+                format!("{}-{}", e.batch_range.0, e.batch_range.1),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.row(row);
     }
     fig.table("Table I", t);
     fig

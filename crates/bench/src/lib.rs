@@ -8,5 +8,6 @@
 
 pub mod figures;
 pub mod output;
+pub mod seed_replay;
 
 pub use output::{FigureResult, Scale, Table};

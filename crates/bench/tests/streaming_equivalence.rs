@@ -1,0 +1,60 @@
+//! Cycle-exactness of the streaming engine against the seed path, at
+//! `LatencyReport` granularity, across a matrix of small GEMMs and all
+//! three PIM levels (the ISSUE-1 acceptance test).
+//!
+//! Three-way comparison per configuration:
+//! * streaming (production) vs in-core materialized replay, and
+//! * streaming vs the frozen seed engine in [`stepstone_bench::seed_replay`]
+//!   (materialized programs + seed AGEN corrector + seed scheduler).
+
+use stepstone_addr::PimLevel;
+use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
+use stepstone_core::{
+    simulate_pow2_gemm_exec, ExecMode, GemmSpec, LatencyReport, SimOptions, SystemConfig,
+};
+
+fn assert_reports_equal(a: &LatencyReport, b: &LatencyReport, what: &str) {
+    assert_eq!(a.total, b.total, "{what}: total cycles");
+    assert_eq!(a.phase_cycles, b.phase_cycles, "{what}: phase attribution");
+    assert_eq!(a.dram, b.dram, "{what}: DRAM event counts");
+    assert_eq!(a.activity, b.activity, "{what}: activity counts");
+}
+
+#[test]
+fn streaming_matches_seed_engine_across_levels_and_shapes() {
+    let sys = SystemConfig::default();
+    let shapes = [(128, 512, 1), (256, 1024, 4), (512, 2048, 8), (1024, 1024, 2)];
+    for (m, k, n) in shapes {
+        let spec = GemmSpec::new(m, k, n);
+        for level in PimLevel::ALL {
+            let opts = SimOptions::stepstone(level);
+            let streaming =
+                simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+            let materialized =
+                simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Materialized);
+            let seed = simulate_pow2_gemm_seed(&sys, &spec, &opts);
+            let what = format!("{m}x{k} N={n} {level:?}");
+            assert_reports_equal(&streaming, &materialized, &format!("{what} (materialized)"));
+            assert_reports_equal(&streaming, &seed, &format!("{what} (seed replay)"));
+            assert!(streaming.total > 0);
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_seed_engine_with_subset_and_echo() {
+    // The subset remap and eCHO granularity exercise the remaining program
+    // shapes (per-row launches, dropped ID bits).
+    let sys = SystemConfig::default();
+    let spec = GemmSpec::new(512, 2048, 4);
+    for opts in [
+        SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
+        SimOptions::echo(PimLevel::BankGroup),
+        SimOptions::echo(PimLevel::Device),
+    ] {
+        let streaming = simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+        let materialized =
+            simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Materialized);
+        assert_reports_equal(&streaming, &materialized, &format!("{:?}", opts.granularity));
+    }
+}

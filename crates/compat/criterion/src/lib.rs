@@ -1,0 +1,108 @@
+//! Vendored micro-benchmark harness with criterion's macro/entry-point
+//! shape (`criterion_group!` / `criterion_main!` / `Criterion::bench_function`).
+//! Reports mean wall-clock per iteration on stdout; benches must set
+//! `harness = false`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_RUN: Duration = Duration::from_millis(200);
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name, self.sample_size);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.to_string(), c: self }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    /// (iterations, elapsed) recorded by the closure passed to `iter`.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: time one call, then size the batch toward TARGET_RUN.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_RUN.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some((iters, t0.elapsed()));
+    }
+
+    fn report(&self, name: &str, _samples: usize) {
+        match self.measured {
+            Some((iters, total)) => {
+                let per = total.as_nanos() as f64 / iters as f64;
+                println!("bench {name:<48} {per:>14.1} ns/iter  ({iters} iters)");
+            }
+            None => println!("bench {name:<48} (no measurement)"),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

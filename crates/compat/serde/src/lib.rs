@@ -1,0 +1,13 @@
+//! Vendored serde facade: marker traits plus no-op derive macros.
+//!
+//! See `crates/compat/serde_derive` — the workspace has no crates.io
+//! access, and nothing in the simulator relies on serde's data model at
+//! runtime, so the derives are annotations only.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

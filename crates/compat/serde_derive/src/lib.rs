@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The simulator uses serde derives only as annotations (JSON output is
+//! hand-rolled in `stepstone-bench`), so the vendored derive accepts the
+//! usual `#[serde(...)]` attributes and expands to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

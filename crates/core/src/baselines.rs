@@ -75,11 +75,11 @@ fn simulate_pei_pow2(
     report.add_phase(Phase::Localization, loc_end);
 
     // Kernel: one command packet per cache block, in plain address order
-    // (the host performs address generation; no PIM-side AGEN).
+    // (the host performs address generation; no PIM-side AGEN). The packet
+    // stream is generated lazily straight off the AGEN walk.
     let mut units: Vec<UnitCursor> = ctx
         .active_pims
         .iter()
-        
         .map(|&pim| {
             let cs: Vec<ParityConstraint> = ctx
                 .ga
@@ -88,17 +88,19 @@ fn simulate_pei_pow2(
                 .enumerate()
                 .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
                 .collect();
-            let mut steps = Vec::new();
-            for s in StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end()) {
-                steps.push(Step::Launch);
-                steps.push(Step::Access {
-                    pa: s.pa,
-                    write: false,
-                    cat: Phase::Gemm,
-                    agen_iters: 0,
-                    compute: true,
+            let steps = StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end())
+                .flat_map(|s| {
+                    [
+                        Step::Launch,
+                        Step::Access {
+                            pa: s.pa,
+                            write: false,
+                            cat: Phase::Gemm,
+                            agen_iters: 0,
+                            compute: true,
+                        },
+                    ]
                 });
-            }
             let mut u = UnitCursor::new(
                 "pei",
                 ctx.pim_channel(pim),
@@ -220,22 +222,13 @@ fn simulate_ncho_pow2(
         let loc_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut());
         report.add_phase(Phase::Localization, loc_end - t);
 
-        // GEMV kernel per PIM: fill b, stream all local A blocks, drain y.
+        // GEMV kernel per PIM: fill b, stream all local A blocks, drain y —
+        // all three sections chained lazily.
         let mut units: Vec<UnitCursor> = ctx
             .active_pims
             .iter()
             .enumerate()
             .map(|(pix, &pim)| {
-                let mut steps = vec![Step::Launch];
-                for &pa in &b_regions[pix] {
-                    steps.push(Step::Access {
-                        pa,
-                        write: false,
-                        cat: Phase::FillB,
-                        agen_iters: 1,
-                        compute: false,
-                    });
-                }
                 let cs: Vec<ParityConstraint> = ctx
                     .ga
                     .id_masks
@@ -243,26 +236,32 @@ fn simulate_ncho_pow2(
                     .enumerate()
                     .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
                     .collect();
+                let fill_b = b_regions[pix].iter().map(|&pa| Step::Access {
+                    pa,
+                    write: false,
+                    cat: Phase::FillB,
+                    agen_iters: 1,
+                    compute: false,
+                });
                 // Chopim's aligned-vector walk: sequential within the
                 // partition; no per-block AGEN cost.
-                for s in StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end()) {
-                    steps.push(Step::Access {
+                let gemv = StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end()).map(|s| {
+                    Step::Access {
                         pa: s.pa,
                         write: false,
                         cat: Phase::Gemm,
                         agen_iters: 1,
                         compute: true,
-                    });
-                }
-                for &pa in &y_regions[pix] {
-                    steps.push(Step::Access {
-                        pa,
-                        write: true,
-                        cat: Phase::DrainC,
-                        agen_iters: 1,
-                        compute: false,
-                    });
-                }
+                    }
+                });
+                let drain_y = y_regions[pix].iter().map(|&pa| Step::Access {
+                    pa,
+                    write: true,
+                    cat: Phase::DrainC,
+                    agen_iters: 1,
+                    compute: false,
+                });
+                let steps = std::iter::once(Step::Launch).chain(fill_b).chain(gemv).chain(drain_y);
                 UnitCursor::new(
                     "ncho",
                     ctx.pim_channel(pim),

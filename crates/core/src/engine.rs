@@ -64,7 +64,6 @@ impl SubsetRemap {
 
 #[derive(Debug, Clone, Copy)]
 struct WinEntry {
-    pa: u64,
     /// Decoded (and subset-remapped) coordinate, cached at window fill.
     coord: DramCoord,
     write: bool,
@@ -74,12 +73,17 @@ struct WinEntry {
 }
 
 /// Execution state of one unit.
-pub struct UnitCursor {
+///
+/// The step program is *streamed*: the cursor pulls from a lazy iterator
+/// (AGEN walks, region interleaves) instead of a pre-materialized `Vec`,
+/// so resident step storage is O(reorder window) per unit regardless of
+/// matrix size.
+pub struct UnitCursor<'a> {
     pub label: &'static str,
     /// Channel this unit's control packets ride on.
     pub channel: u32,
     pub port: Port,
-    steps: std::vec::IntoIter<Step>,
+    steps: Box<dyn Iterator<Item = Step> + 'a>,
     peeked: Option<Step>,
     /// In-order AGEN output awaiting issue; the PIM's memory sequencer may
     /// issue any of these out of order (a small FR-FCFS-like window that a
@@ -121,13 +125,13 @@ pub struct UnitCursor {
     pub agen_bubbles: u64,
 }
 
-impl UnitCursor {
+impl<'a> UnitCursor<'a> {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         label: &'static str,
         channel: u32,
         port: Port,
-        steps: Vec<Step>,
+        steps: impl Iterator<Item = Step> + 'a,
         start: u64,
         compute_cycles_per_block: u64,
         simd_ops_per_block: u64,
@@ -141,7 +145,7 @@ impl UnitCursor {
             label,
             channel,
             port,
-            steps: steps.into_iter(),
+            steps: Box::new(steps),
             peeked: None,
             window: VecDeque::with_capacity(8),
             window_cap: (pipeline_depth / 2).clamp(1, 8),
@@ -179,7 +183,7 @@ impl UnitCursor {
         label: &'static str,
         channel: u32,
         port: Port,
-        steps: Vec<Step>,
+        steps: impl Iterator<Item = Step> + 'a,
         start: u64,
         inter_block_gap: u64,
     ) -> Self {
@@ -214,7 +218,6 @@ impl UnitCursor {
                         coord = su.remap(coord, pa);
                     }
                     self.window.push_back(WinEntry {
-                        pa,
                         coord,
                         write,
                         cat,
@@ -270,14 +273,40 @@ impl UnitCursor {
             return;
         }
         // Pick the window entry whose data would start earliest (the PIM
-        // sequencer's FR-FCFS-like choice).
+        // sequencer's FR-FCFS-like choice). `TimingState::probe` ignores the
+        // column, so entries sharing (bank, row, direction) and an effective
+        // not-before resolve to the same time — probe each distinct
+        // combination once (sequential walks collapse to a single probe).
         let base_nb = self.not_before.max(self.launch_avail);
         let mut best_ix = 0;
         let mut best_t = u64::MAX;
+        let mut cache: [(u64, u64, u64); 8] = [(0, 0, 0); 8];
+        let mut cache_len = 0usize;
         for (i, e) in self.window.iter().enumerate() {
             let nb = base_nb.max(e.gen_ready);
-            let kind = if e.write { CasKind::Write } else { CasKind::Read };
-            let t = ts.probe(e.coord, kind, self.port, nb);
+            let c = e.coord;
+            let key = c.channel as u64
+                | (c.rank as u64) << 8
+                | (c.bankgroup as u64) << 16
+                | (c.bank as u64) << 24
+                | (c.row as u64) << 32;
+            // The direction rides in bit 63 of the not-before word (cycle
+            // counts stay far below 2^63), keeping the key free for a full
+            // 32-bit row field.
+            let nb_key = nb | (e.write as u64) << 63;
+            let cached = cache[..cache_len].iter().find(|&&(k, n, _)| k == key && n == nb_key);
+            let t = match cached {
+                Some(&(_, _, t)) => t,
+                None => {
+                    let kind = if e.write { CasKind::Write } else { CasKind::Read };
+                    let t = ts.probe(c, kind, self.port, nb);
+                    if cache_len < cache.len() {
+                        cache[cache_len] = (key, nb_key, t);
+                        cache_len += 1;
+                    }
+                    t
+                }
+            };
             if t < best_t {
                 best_t = t;
                 best_ix = i;
@@ -386,6 +415,11 @@ impl<'a> TrafficCursor<'a> {
 
 /// Run all unit cursors (and optional colocated traffic) to completion.
 /// Returns the phase end time (max unit end).
+///
+/// A unit's desired time depends only on its own state, so the ready queue
+/// is a min-heap updated only for the unit that just advanced — identical
+/// scheduling to the seed's linear scan (lowest index wins ties), at
+/// O(log units) per step.
 pub fn run_phase(
     ts: &mut TimingState,
     bus: &mut CommandBus,
@@ -393,16 +427,14 @@ pub fn run_phase(
     units: &mut [UnitCursor],
     mut traffic: Option<&mut TrafficCursor>,
 ) -> u64 {
-    loop {
-        let mut best: Option<(usize, u64)> = None;
-        for (i, u) in units.iter_mut().enumerate() {
-            if let Some(t) = u.desired(mapping) {
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
-                }
-            }
-        }
-        let Some((i, t)) = best else { break };
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = units
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, u)| u.desired(mapping).map(|t| Reverse((t, i))))
+        .collect();
+    while let Some(Reverse((t, i))) = heap.pop() {
         // Let CPU traffic that wants the bus earlier go first.
         if let Some(tc) = traffic.as_deref_mut() {
             while tc.peek_time().is_some_and(|tt| tt <= t) {
@@ -410,6 +442,9 @@ pub fn run_phase(
             }
         }
         units[i].advance(ts, bus, mapping);
+        if let Some(nt) = units[i].desired(mapping) {
+            heap.push(Reverse((nt, i)));
+        }
     }
     let mut end = 0;
     for u in units.iter_mut() {
@@ -429,12 +464,12 @@ mod tests {
         Step::Access { pa, write: false, cat: Phase::Gemm, agen_iters: 1, compute: false }
     }
 
-    fn run_single(steps: Vec<Step>, launch_slots: u64) -> UnitCursor {
+    fn run_single(steps: Vec<Step>, launch_slots: u64) -> UnitCursor<'static> {
         let mapping = mapping_by_id(MappingId::Skylake);
         let mut ts = TimingState::new(DramConfig::default());
         let mut bus = CommandBus::new(2);
         let mut units = vec![UnitCursor::new(
-            "t", 0, Port::Channel, steps, 0, 0, 0, 8, launch_slots, 10, 4, None,
+            "t", 0, Port::Channel, steps.into_iter(), 0, 0, 0, 8, launch_slots, 10, 4, None,
         )];
         run_phase(&mut ts, &mut bus, &mapping, &mut units, None);
         units.pop().expect("one unit")
@@ -514,7 +549,7 @@ mod tests {
         let mut tc = TrafficCursor::new(&mut src, 0);
         // Drive it alongside an empty unit set via a dummy unit.
         let mut units = vec![UnitCursor::new(
-            "t", 0, Port::Channel, vec![read_step(1 << 20)], 100, 0, 0, 8, 0, 0, 4, None,
+            "t", 0, Port::Channel, vec![read_step(1 << 20)].into_iter(), 100, 0, 0, 8, 0, 0, 4, None,
         )];
         run_phase(&mut ts, &mut bus, &mapping, &mut units, Some(&mut tc));
         assert_eq!(tc.served, 2);

@@ -17,9 +17,11 @@ use crate::config::{AgenMode, SystemConfig};
 use crate::engine::{run_phase, Step, SubsetRemap, TrafficCursor, UnitCursor};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
+use stepstone_addr::agen::Spans;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{
     GroupAnalysis, MatrixLayout, NaiveAgen, ParityConstraint, PimLevel, StepStoneAgen, XorMapping,
+    BLOCK_BYTES,
 };
 use stepstone_dram::{CommandBus, Port, TimingState, TrafficSource};
 use stepstone_pim::{
@@ -227,7 +229,8 @@ impl GemmContext {
     }
 
     /// The block-walk for one (pim, group, rpart, cpart) cell of
-    /// Algorithm 1, honoring the configured AGEN mode.
+    /// Algorithm 1, honoring the configured AGEN mode (materialized; the
+    /// hot path uses [`GemmContext::walk_stream`]).
     pub fn walk(
         &self,
         sys: &SystemConfig,
@@ -236,6 +239,36 @@ impl GemmContext {
         rpart: u32,
         cpart: u32,
     ) -> Vec<(u64, u32)> {
+        let mut w = self.walk_stream(sys.agen, pim, grp, rpart, cpart);
+        let mut out = Vec::new();
+        while let Some(step) = w.next() {
+            out.push(step);
+        }
+        out
+    }
+
+    /// Streaming form of [`GemmContext::walk`]: a cursor yielding
+    /// `(pa, agen_iterations)` on demand, without materializing the walk.
+    pub fn walk_stream(
+        &self,
+        agen: AgenMode,
+        pim: u32,
+        grp: usize,
+        rpart: u32,
+        cpart: u32,
+    ) -> WalkCursor {
+        self.walk_stream_impl(agen, pim, grp, rpart, cpart, false)
+    }
+
+    fn walk_stream_impl(
+        &self,
+        agen: AgenMode,
+        pim: u32,
+        grp: usize,
+        rpart: u32,
+        cpart: u32,
+        uncached_corrector: bool,
+    ) -> WalkCursor {
         let mut cs = self.ga.constraints_for(pim, grp);
         cs.extend(partition_constraints(
             self.layout.mrow_mask(),
@@ -247,14 +280,46 @@ impl GemmContext {
             self.plan.cparts,
             cpart,
         ));
-        match sys.agen {
-            AgenMode::Naive => NaiveAgen::new(cs, self.layout.base, self.layout.end())
-                .map(|s| (s.pa, s.iterations))
-                .collect(),
+        match agen {
+            AgenMode::Naive => WalkCursor::Naive(NaiveAgen::new(cs, self.layout.base, self.layout.end())),
             AgenMode::StepStone(rules) => {
-                StepStoneAgen::with_rules(cs, self.layout.base, self.layout.end(), rules)
-                    .map(|s| (s.pa, s.iterations))
-                    .collect()
+                let mut a = StepStoneAgen::with_rules(cs, self.layout.base, self.layout.end(), rules);
+                if uncached_corrector {
+                    a = a.use_uncached_corrector();
+                }
+                WalkCursor::Spanned { spans: a.spans(), cur: 0, remaining: 0, first_iters: 0 }
+            }
+        }
+    }
+}
+
+/// A lazy (pa, AGEN iterations) cursor over one Algorithm-1 cell.
+///
+/// The StepStone variant pulls batched [`stepstone_addr::agen::AgenSpan`]
+/// runs and unrolls them with a span counter, so the GF(2) corrector runs
+/// once per run instead of once per block.
+pub enum WalkCursor {
+    Naive(NaiveAgen),
+    Spanned { spans: Spans, cur: u64, remaining: u64, first_iters: u32 },
+}
+
+impl WalkCursor {
+    #[inline]
+    pub fn next(&mut self) -> Option<(u64, u32)> {
+        match self {
+            WalkCursor::Naive(a) => a.next().map(|s| (s.pa, s.iterations)),
+            WalkCursor::Spanned { spans, cur, remaining, first_iters } => {
+                if *remaining == 0 {
+                    let span = spans.next()?;
+                    *cur = span.start_pa;
+                    *remaining = span.len;
+                    *first_iters = span.iterations;
+                }
+                let pa = *cur;
+                *cur += BLOCK_BYTES;
+                *remaining -= 1;
+                let iters = if *first_iters != 0 { std::mem::take(first_iters) } else { 1 };
+                Some((pa, iters))
             }
         }
     }
@@ -268,46 +333,169 @@ fn cols_in_cpart(cols: &[u64], blocks_per_row: u64, cparts: u32, cpart: u64) -> 
     cols.iter().filter(|&&c| c >= lo && c < hi).count() as u64
 }
 
-/// Build the kernel-phase step program for one PIM (shared with the fused
-/// execution path in [`crate::serving`]).
-pub(crate) fn build_kernel_program_for(
-    ctx: &GemmContext,
-    sys: &SystemConfig,
-    opts: &SimOptions,
+/// How step programs reach the engine.
+///
+/// `Streaming` (the production path) feeds each [`UnitCursor`] from a lazy
+/// [`KernelStream`], keeping resident step storage at O(reorder window ×
+/// active PIMs). `Materialized` reproduces the seed behavior — build the
+/// whole `Vec<Step>` per PIM, then replay — and is kept for the
+/// cycle-exactness equivalence tests and as the benchmark baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    #[default]
+    Streaming,
+    Materialized,
+    /// `Materialized` plus the seed-era per-candidate GF(2) corrector in
+    /// the AGEN — the faithful pre-streaming baseline for benchmarks.
+    MaterializedSeedAgen,
+}
+
+/// Stage of the per-rpart section of Algorithm 1 a [`KernelStream`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelStage {
+    Launch,
+    FillC,
+    FillB,
+    Gemm,
+    DrainC,
+    Done,
+}
+
+/// Lazy generator of the kernel-phase step program for one PIM — the
+/// streaming replacement for the seed's materialized `Vec<Step>`. Yields
+/// exactly the sequence [`build_kernel_program_for`] builds, but on demand:
+/// the only per-block state is the AGEN walk cursor.
+pub struct KernelStream<'a> {
+    ctx: &'a GemmContext,
+    agen: AgenMode,
+    pim: u32,
     pix: usize,
-) -> Vec<Step> {
-    let pim = ctx.active_pims[pix];
-    let mut steps = Vec::new();
-    let echo = opts.granularity == KernelGranularity::PerDotProduct;
-    let mut c_cursor = 0usize;
-    for rpart in 0..ctx.plan.rparts {
-        if !echo {
-            steps.push(Step::Launch);
+    echo: bool,
+    /// Per-rpart prefix offsets into the PIM's C region (len = rparts + 1).
+    c_offsets: Vec<usize>,
+    /// Admissible (group, cpart, b_offset, b_len) cells in visit order.
+    cells: Vec<(usize, u32, usize, usize)>,
+    rpart: u32,
+    stage: KernelStage,
+    /// Position within the current fill/drain slice.
+    slice_pos: usize,
+    cell_ix: usize,
+    walk: Option<WalkCursor>,
+    last_row: usize,
+    /// Access queued behind an eCHO per-row Launch.
+    queued: Option<Step>,
+    /// Use the seed-era uncached GF(2) corrector (benchmark baseline).
+    uncached_agen: bool,
+}
+
+impl<'a> KernelStream<'a> {
+    pub(crate) fn new(
+        ctx: &'a GemmContext,
+        sys: &SystemConfig,
+        opts: &SimOptions,
+        pix: usize,
+    ) -> Self {
+        let pim = ctx.active_pims[pix];
+        let mut c_offsets = Vec::with_capacity(ctx.plan.rparts as usize + 1);
+        let mut acc = 0usize;
+        c_offsets.push(0);
+        for rp in 0..ctx.plan.rparts as usize {
+            acc += ctx.c_blocks_by_rpart[pix][rp] as usize;
+            c_offsets.push(acc);
         }
-        let c_blocks = ctx.c_blocks_by_rpart[pix][rpart as usize] as usize;
-        if !ctx.direct_scratchpad {
-            for &pa in &ctx.c_regions[pix][c_cursor..c_cursor + c_blocks] {
-                steps.push(Step::Access {
-                    pa,
-                    write: false,
-                    cat: Phase::FillC,
-                    agen_iters: 1,
-                    compute: false,
-                });
-            }
-        }
+        let mut cells = Vec::new();
+        let mut b_acc = 0usize;
         let mut slice_ix = 0usize;
-        let mut b_cursor = 0usize;
         for grp in 0..ctx.ga.n_groups() {
             if !ctx.ga.is_admissible(pim, grp) {
                 continue;
             }
             for cpart in 0..ctx.plan.cparts {
-                let slice_len = ctx.b_slice_lens[pix][slice_ix] as usize;
+                let len = ctx.b_slice_lens[pix][slice_ix] as usize;
                 slice_ix += 1;
-                if !ctx.direct_scratchpad {
-                    for &pa in &ctx.b_regions[pix][b_cursor..b_cursor + slice_len] {
-                        steps.push(Step::Access {
+                cells.push((grp, cpart, b_acc, len));
+                b_acc += len;
+            }
+        }
+        Self {
+            ctx,
+            agen: sys.agen,
+            pim,
+            pix,
+            echo: opts.granularity == KernelGranularity::PerDotProduct,
+            c_offsets,
+            cells,
+            rpart: 0,
+            stage: KernelStage::Launch,
+            slice_pos: 0,
+            cell_ix: 0,
+            walk: None,
+            last_row: usize::MAX,
+            queued: None,
+            uncached_agen: false,
+        }
+    }
+
+    /// Seed-faithful variant: same step sequence, but the AGEN rebuilds its
+    /// GF(2) system per candidate position as the seed did.
+    pub(crate) fn with_seed_agen(mut self) -> Self {
+        self.uncached_agen = true;
+        self
+    }
+
+    #[inline]
+    fn c_slice(&self) -> &'a [u64] {
+        let lo = self.c_offsets[self.rpart as usize];
+        let hi = self.c_offsets[self.rpart as usize + 1];
+        &self.ctx.c_regions[self.pix][lo..hi]
+    }
+}
+
+impl Iterator for KernelStream<'_> {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        if let Some(step) = self.queued.take() {
+            return Some(step);
+        }
+        loop {
+            match self.stage {
+                KernelStage::Launch => {
+                    self.stage = KernelStage::FillC;
+                    self.slice_pos = 0;
+                    if !self.echo {
+                        return Some(Step::Launch);
+                    }
+                }
+                KernelStage::FillC => {
+                    if !self.ctx.direct_scratchpad {
+                        let slice = self.c_slice();
+                        if self.slice_pos < slice.len() {
+                            let pa = slice[self.slice_pos];
+                            self.slice_pos += 1;
+                            return Some(Step::Access {
+                                pa,
+                                write: false,
+                                cat: Phase::FillC,
+                                agen_iters: 1,
+                                compute: false,
+                            });
+                        }
+                    }
+                    self.stage = KernelStage::FillB;
+                    self.cell_ix = 0;
+                    self.slice_pos = 0;
+                }
+                KernelStage::FillB => {
+                    let Some(&(grp, cpart, b_off, b_len)) = self.cells.get(self.cell_ix) else {
+                        self.stage = KernelStage::DrainC;
+                        self.slice_pos = 0;
+                        continue;
+                    };
+                    if !self.ctx.direct_scratchpad && self.slice_pos < b_len {
+                        let pa = self.ctx.b_regions[self.pix][b_off + self.slice_pos];
+                        self.slice_pos += 1;
+                        return Some(Step::Access {
                             pa,
                             write: false,
                             cat: Phase::FillB,
@@ -315,75 +503,164 @@ pub(crate) fn build_kernel_program_for(
                             compute: false,
                         });
                     }
+                    self.walk = Some(self.ctx.walk_stream_impl(
+                        self.agen,
+                        self.pim,
+                        grp,
+                        self.rpart,
+                        cpart,
+                        self.uncached_agen,
+                    ));
+                    self.last_row = usize::MAX;
+                    self.stage = KernelStage::Gemm;
                 }
-                b_cursor += slice_len;
-                let mut last_row = usize::MAX;
-                for (pa, iters) in ctx.walk(sys, pim, grp, rpart, cpart) {
-                    if echo {
-                        let (row, _) = ctx.layout.locate(pa);
-                        if row != last_row {
-                            steps.push(Step::Launch);
-                            last_row = row;
-                        }
-                    }
-                    steps.push(Step::Access {
+                KernelStage::Gemm => {
+                    let walk = self.walk.as_mut().expect("walk set on Gemm entry");
+                    let Some((pa, iters)) = walk.next() else {
+                        self.walk = None;
+                        self.cell_ix += 1;
+                        self.slice_pos = 0;
+                        self.stage = KernelStage::FillB;
+                        continue;
+                    };
+                    let access = Step::Access {
                         pa,
                         write: false,
                         cat: Phase::Gemm,
                         agen_iters: iters,
                         compute: true,
-                    });
+                    };
+                    if self.echo {
+                        let (row, _) = self.ctx.layout.locate(pa);
+                        if row != self.last_row {
+                            self.last_row = row;
+                            self.queued = Some(access);
+                            return Some(Step::Launch);
+                        }
+                    }
+                    return Some(access);
                 }
+                KernelStage::DrainC => {
+                    if !self.ctx.direct_scratchpad {
+                        let slice = self.c_slice();
+                        if self.slice_pos < slice.len() {
+                            let pa = slice[self.slice_pos];
+                            self.slice_pos += 1;
+                            return Some(Step::Access {
+                                pa,
+                                write: true,
+                                cat: Phase::DrainC,
+                                agen_iters: 1,
+                                compute: false,
+                            });
+                        }
+                    }
+                    self.rpart += 1;
+                    self.stage = if self.rpart < self.ctx.plan.rparts {
+                        KernelStage::Launch
+                    } else {
+                        KernelStage::Done
+                    };
+                }
+                KernelStage::Done => return None,
             }
         }
-        if !ctx.direct_scratchpad {
-            for &pa in &ctx.c_regions[pix][c_cursor..c_cursor + c_blocks] {
-                steps.push(Step::Access {
+    }
+}
+
+/// Materialize the kernel-phase step program for one PIM — the seed
+/// execution path, kept for equivalence testing and benchmarking against
+/// the streaming [`KernelStream`].
+pub fn build_kernel_program_for(
+    ctx: &GemmContext,
+    sys: &SystemConfig,
+    opts: &SimOptions,
+    pix: usize,
+) -> Vec<Step> {
+    KernelStream::new(ctx, sys, opts, pix).collect()
+}
+
+/// [`build_kernel_program_for`] with the seed-era uncached GF(2) corrector
+/// in the AGEN — the faithful seed program builder, used by the benchmark
+/// baseline (`stepstone-bench::seed_replay`).
+pub fn build_kernel_program_seed(
+    ctx: &GemmContext,
+    sys: &SystemConfig,
+    opts: &SimOptions,
+    pix: usize,
+) -> Vec<Step> {
+    KernelStream::new(ctx, sys, opts, pix).with_seed_agen().collect()
+}
+
+/// Lazily interleave per-PIM region lists in the Fig. 5 DMA engine's
+/// round-robin order: depth-first across regions, one block per region per
+/// round, so consecutive writes hit different bank groups and stream at
+/// tCCDS instead of tCCDL.
+struct RegionInterleave<'a> {
+    regions: Vec<&'a [u64]>,
+    longest: usize,
+    depth: usize,
+    rix: usize,
+    write: bool,
+    cat: Phase,
+}
+
+impl<'a> RegionInterleave<'a> {
+    fn new(regions: Vec<&'a [u64]>, write: bool, cat: Phase) -> Self {
+        let longest = regions.iter().map(|r| r.len()).max().unwrap_or(0);
+        Self { regions, longest, depth: 0, rix: 0, write, cat }
+    }
+}
+
+impl Iterator for RegionInterleave<'_> {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        loop {
+            if self.depth >= self.longest {
+                return None;
+            }
+            if self.rix >= self.regions.len() {
+                self.rix = 0;
+                self.depth += 1;
+                continue;
+            }
+            let r = self.regions[self.rix];
+            self.rix += 1;
+            if let Some(&pa) = r.get(self.depth) {
+                return Some(Step::Access {
                     pa,
-                    write: true,
-                    cat: Phase::DrainC,
+                    write: self.write,
+                    cat: self.cat,
                     agen_iters: 1,
                     compute: false,
                 });
             }
         }
-        c_cursor += c_blocks;
     }
-    steps
 }
 
 /// Build DMA transfer cursors (one per channel) over the given per-PIM
 /// region lists.
-pub(crate) fn transfer_cursors(
-    ctx: &GemmContext,
-    regions: &[Vec<u64>],
+pub(crate) fn transfer_cursors<'a>(
+    ctx: &'a GemmContext,
+    regions: &'a [Vec<u64>],
     write: bool,
     cat: Phase,
     start: u64,
     gap: u64,
-) -> Vec<UnitCursor> {
+) -> Vec<UnitCursor<'a>> {
     let channels = ctx.mapping.geometry().channels;
     (0..channels)
         .map(|ch| {
-            // Interleave across the channel's PIM regions (the Fig. 5 DMA
-            // engine's inner loop) so consecutive writes hit different bank
-            // groups and stream at tCCDS instead of tCCDL.
-            let mine: Vec<&Vec<u64>> = ctx
+            let mine: Vec<&[u64]> = ctx
                 .active_pims
                 .iter()
                 .enumerate()
                 .filter(|(_, &pim)| ctx.pim_channel(pim) == ch)
-                .map(|(pix, _)| &regions[pix])
+                .map(|(pix, _)| regions[pix].as_slice())
                 .collect();
-            let longest = mine.iter().map(|r| r.len()).max().unwrap_or(0);
-            let mut steps = Vec::new();
-            for j in 0..longest {
-                for r in &mine {
-                    if let Some(&pa) = r.get(j) {
-                        steps.push(Step::Access { pa, write, cat, agen_iters: 1, compute: false });
-                    }
-                }
-            }
+            let steps = RegionInterleave::new(mine, write, cat);
             UnitCursor::transfer("dma", ch, Port::Channel, steps, start, gap)
         })
         .collect()
@@ -402,12 +679,25 @@ fn subset_remap(ctx: &GemmContext, sys: &SystemConfig, opts: &SimOptions) -> Opt
     })
 }
 
-/// Simulate a single power-of-two GEMM.
+/// Simulate a single power-of-two GEMM (streaming step programs).
 pub fn simulate_pow2_gemm(
     sys: &SystemConfig,
     spec: &GemmSpec,
     opts: &SimOptions,
     traffic: Option<&mut dyn TrafficSource>,
+) -> LatencyReport {
+    simulate_pow2_gemm_exec(sys, spec, opts, traffic, ExecMode::Streaming)
+}
+
+/// Simulate a single power-of-two GEMM with an explicit execution mode
+/// (see [`ExecMode`]; `Materialized` is the seed path kept for equivalence
+/// tests and benchmarks).
+pub fn simulate_pow2_gemm_exec(
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+    mode: ExecMode,
 ) -> LatencyReport {
     let ctx = GemmContext::build(sys, spec, opts);
     let mut ts = TimingState::new(sys.dram);
@@ -426,7 +716,18 @@ pub fn simulate_pow2_gemm(
     let remap = subset_remap(&ctx, sys, opts);
     let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
         .map(|pix| {
-            let steps = build_kernel_program_for(&ctx, sys, opts, pix);
+            let steps: Box<dyn Iterator<Item = Step>> = match mode {
+                ExecMode::Streaming => Box::new(KernelStream::new(&ctx, sys, opts, pix)),
+                ExecMode::Materialized => {
+                    Box::new(build_kernel_program_for(&ctx, sys, opts, pix).into_iter())
+                }
+                ExecMode::MaterializedSeedAgen => Box::new(
+                    KernelStream::new(&ctx, sys, opts, pix)
+                        .with_seed_agen()
+                        .collect::<Vec<_>>()
+                        .into_iter(),
+                ),
+            };
             UnitCursor::new(
                 "pim",
                 ctx.pim_channel(ctx.active_pims[pix]),
@@ -585,6 +886,77 @@ mod tests {
         )
         .total;
         assert!(naive > fast * 2, "naive={naive} fast={fast}");
+    }
+
+    #[test]
+    fn streaming_and_materialized_kernel_programs_are_identical() {
+        // The streaming generator must yield exactly the sequence the seed
+        // materialized — including the seed-AGEN variant (same steps, only
+        // generation cost differs).
+        let s = sys();
+        for (m, k, n) in [(256, 1024, 2), (128, 512, 4)] {
+            for level in PimLevel::ALL {
+                let opts = SimOptions::stepstone(level);
+                let spec = GemmSpec::new(m, k, n);
+                let ctx = GemmContext::build(&s, &spec, &opts);
+                for pix in 0..ctx.active_pims.len() {
+                    let streamed: Vec<Step> = KernelStream::new(&ctx, &s, &opts, pix).collect();
+                    let seeded: Vec<Step> =
+                        KernelStream::new(&ctx, &s, &opts, pix).with_seed_agen().collect();
+                    assert_eq!(streamed, seeded, "{level:?} pim {pix}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_engine_emits_the_exact_seed_command_trace() {
+        // Cycle-exactness at command granularity: run the kernel phase with
+        // streaming and with materialized programs against traced timing
+        // states; every issued DRAM command must match in time and place.
+        use crate::engine::Step;
+        use stepstone_dram::{CommandBus, TimingState};
+        let s = sys();
+        let spec = GemmSpec::new(256, 1024, 2);
+        for level in PimLevel::ALL {
+            let opts = SimOptions::stepstone(level);
+            let ctx = GemmContext::build(&s, &spec, &opts);
+            let run = |materialize: bool| {
+                let mut ts = TimingState::new(s.dram);
+                ts.enable_trace();
+                let mut bus = CommandBus::new(s.dram.geom.channels as usize);
+                let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
+                    .map(|pix| {
+                        let steps: Box<dyn Iterator<Item = Step>> = if materialize {
+                            Box::new(build_kernel_program_for(&ctx, &s, &opts, pix).into_iter())
+                        } else {
+                            Box::new(KernelStream::new(&ctx, &s, &opts, pix))
+                        };
+                        UnitCursor::new(
+                            "t",
+                            ctx.pim_channel(ctx.active_pims[pix]),
+                            opts.level_cfg.port(),
+                            steps,
+                            0,
+                            opts.level_cfg.compute_cycles_per_block(ctx.n),
+                            opts.level_cfg.simd_ops_per_block(ctx.n),
+                            opts.level_cfg.pipeline_depth as usize,
+                            s.launch.slots_for(opts.granularity),
+                            s.launch.launch_latency,
+                            s.dram.timing.t_bl,
+                            None,
+                        )
+                    })
+                    .collect();
+                let end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut units, None);
+                (end, ts.take_trace().expect("trace enabled").records)
+            };
+            let (end_stream, trace_stream) = run(false);
+            let (end_mat, trace_mat) = run(true);
+            assert_eq!(end_stream, end_mat, "{level:?} phase end");
+            assert_eq!(trace_stream, trace_mat, "{level:?} command trace");
+            assert!(!trace_stream.is_empty());
+        }
     }
 
     #[test]

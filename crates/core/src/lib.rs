@@ -29,7 +29,9 @@ pub mod validate;
 pub use baselines::{simulate_ncho, simulate_pei};
 pub use config::{AgenMode, SystemConfig};
 pub use cpu::{CpuModel, IdealCpuModel};
-pub use flow::{simulate_gemm, simulate_gemm_opt, GemmContext, SimOptions};
+pub use flow::{
+    simulate_gemm, simulate_gemm_opt, simulate_pow2_gemm_exec, ExecMode, GemmContext, SimOptions,
+};
 pub use gemm::GemmSpec;
 pub use report::{ActivityCounts, LatencyReport, Phase};
 pub use select::{choose_backend, estimate_pim_cycles, options_for, Backend};

@@ -14,7 +14,7 @@
 use crate::config::SystemConfig;
 use crate::cpu::CpuModel;
 use crate::engine::{run_phase, TrafficCursor, UnitCursor};
-use crate::flow::{build_kernel_program_for, transfer_cursors, GemmContext, SimOptions};
+use crate::flow::{transfer_cursors, GemmContext, KernelStream, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::PimLevel;
@@ -118,7 +118,7 @@ pub fn simulate_gemm_fused(
                     "pim-fused",
                     ctx.pim_channel(ctx.active_pims[pix]),
                     opts.level_cfg.port(),
-                    build_kernel_program_for(ctx, sys, opts, pix),
+                    KernelStream::new(ctx, sys, opts, pix),
                     start,
                     opts.level_cfg.compute_cycles_per_block(spec.n),
                     opts.level_cfg.simd_ops_per_block(spec.n),

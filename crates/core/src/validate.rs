@@ -85,7 +85,7 @@ pub fn validate_gemm(
     let mut final_c = vec![0f64; m * n];
     for (pix, &pim) in ctx.active_pims.iter().enumerate() {
         // B panel lookup: localized region offset per (grp, cpart, kblk).
-        let mut b_panels: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut b_panels: rustc_hash::FxHashMap<u64, usize> = rustc_hash::FxHashMap::default();
         let mut cursor = 0usize;
         for grp in 0..ctx.ga.n_groups() {
             if !ctx.ga.is_admissible(pim, grp) {
@@ -102,8 +102,8 @@ pub fn validate_gemm(
             }
         }
         // Partial C accumulators for this PIM.
-        let mut partial: std::collections::HashMap<usize, Vec<f32>> =
-            std::collections::HashMap::new();
+        let mut partial: rustc_hash::FxHashMap<usize, Vec<f32>> =
+            rustc_hash::FxHashMap::default();
         for rpart in 0..ctx.plan.rparts {
             for grp in 0..ctx.ga.n_groups() {
                 if !ctx.ga.is_admissible(pim, grp) {

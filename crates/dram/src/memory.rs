@@ -5,15 +5,19 @@
 //! results" (§IV). This store gives the simulator the same capability
 //! without allocating the full simulated capacity.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
 /// Sparse byte-addressable physical memory (4 KiB pages, zero-fill on read).
+///
+/// Page lookup runs on every simulated byte access during functional
+/// validation, so the index uses FxHash rather than SipHash — page numbers
+/// are simulator-internal integers, not attacker-controlled keys.
 #[derive(Debug, Default)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_BYTES]>>,
 }
 
 impl SparseMem {

@@ -11,7 +11,7 @@
 
 use crate::layers::{ModelGraph, Op};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use stepstone_addr::PimLevel;
 use stepstone_core::{
     simulate_gemm, simulate_gemm_opt, simulate_ncho, simulate_pei, CpuModel, GemmSpec,
@@ -111,12 +111,12 @@ pub struct ModelExecutor {
     pub sys: SystemConfig,
     pub cpu: CpuModel,
     pub icpu: IdealCpuModel,
-    cache: HashMap<(GemmSpec, Scheme), (u64, Bucket)>,
+    cache: FxHashMap<(GemmSpec, Scheme), (u64, Bucket)>,
 }
 
 impl ModelExecutor {
     pub fn new(sys: SystemConfig) -> Self {
-        Self { sys, cpu: CpuModel::default(), icpu: IdealCpuModel::default(), cache: HashMap::new() }
+        Self { sys, cpu: CpuModel::default(), icpu: IdealCpuModel::default(), cache: FxHashMap::default() }
     }
 
     /// Execute one GEMM under a scheme; returns (cycles, bucket).

@@ -1,0 +1,17 @@
+# Developer entry points (mirrors the Makefile; this container ships
+# `make` but not `just` — keep both in sync).
+
+build:
+    cargo build --release
+
+test:
+    cargo test --workspace -q
+
+# Build release, run the hot-path bench on a small config, validate
+# BENCH_sim.json.
+bench-smoke:
+    make bench-smoke
+
+# The paper-scale evidence run.
+bench-paper:
+    make bench-paper
