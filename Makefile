@@ -1,12 +1,20 @@
 # Developer entry points. `just` users: see justfile (same targets).
 
-.PHONY: build test bench-smoke bench-paper
+.PHONY: build test clippy ci bench-smoke bench-paper
 
 build:
 	cargo build --release
 
 test:
 	cargo test --workspace -q
+
+clippy:
+	cargo clippy --workspace --all-targets -q -- -D warnings
+
+# The merge gate for perf-relevant changes: build, test, lint, and
+# validate BENCH_sim.json on the quick shape.
+ci: build test clippy bench-smoke
+	@echo "ci: all gates green"
 
 # Build release, run the simulator hot-path bench on a small config, and
 # fail if BENCH_sim.json is missing or malformed.
@@ -18,8 +26,13 @@ bench-smoke:
 	@python3 -c "import json,sys; d=json.load(open('BENCH_sim.json')); \
 assert d['bench']=='sim_hot_path', 'bad bench id'; \
 assert d['cycle_exact'] is True, 'modes disagree'; \
-assert len(d['runs'])==2 and all(r['blocks']>0 and r['wall_ns']>0 for r in d['runs']), 'bad runs'; \
-print('bench-smoke: BENCH_sim.json ok (speedup %.2fx)'%d['speedup_streaming_vs_seed'])"
+assert len(d['runs'])==3 and all(r['blocks']>0 and r['wall_ns']>0 for r in d['runs']), 'bad runs'; \
+assert {r['mode'] for r in d['runs']} == {'streaming','streaming-serial','seed-replay'}, 'bad modes'; \
+ra=d['region_addrs']; \
+assert ra['materialized']>0 and ra['resident']>0 and ra['drop']>=1.0, 'region plans regressed'; \
+assert d['speedup_streaming_vs_seed']>0 and d['speedup_parallel_vs_serial']>0, 'bad speedups'; \
+print('bench-smoke: BENCH_sim.json ok (seed %.2fx, parallel %.2fx, region drop %.0fx)' \
+% (d['speedup_streaming_vs_seed'], d['speedup_parallel_vs_serial'], ra['drop']))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

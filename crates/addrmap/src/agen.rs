@@ -244,9 +244,11 @@ impl StepStoneAgen {
             u &= u - 1;
         }
         let unit_starts = compress_units(&cs, &sbits, rules);
-        // Highest position the successor scan can visit for any x < end.
+        // Highest position the successor scan can visit for any x < end
+        // (capped at bit 63 — u64 addresses have nothing above it, and an
+        // uncapped level would shift-overflow for end ≥ 2^62).
         let hi = 63 - end.max(1).leading_zeros().min(57);
-        let p_max = hi.max(sbits.last().copied().unwrap_or(6)) + 2;
+        let p_max = (hi.max(sbits.last().copied().unwrap_or(6)) + 2).min(63);
         let levels = (crate::geometry::BLOCK_SHIFT..=p_max)
             .map(|p| PreparedLevel::prepare(&cs, p))
             .collect();
@@ -310,7 +312,7 @@ impl StepStoneAgen {
         // produced at `p` = its highest bit differing from `x`, so scanning
         // all positions (with monotone-base pruning) is exact.
         let top = 63 - x.max(1).leading_zeros().min(57);
-        let top = top.max(self.sbits.last().copied().unwrap_or(6)) + 2;
+        let top = (top.max(self.sbits.last().copied().unwrap_or(6)) + 2).min(63);
         for p in crate::geometry::BLOCK_SHIFT..=top {
             let base = ((x >> p) + 1) << p;
             if let Some((b, _)) = best {
@@ -325,7 +327,7 @@ impl StepStoneAgen {
                 // its parity corrected by the prefix contribution.
                 let mut rhs_bits = 0u32;
                 for (i, c) in self.cs.iter().enumerate() {
-                    let prefix = ((base & c.mask).count_ones() & 1) as u32;
+                    let prefix = (base & c.mask).count_ones() & 1;
                     rhs_bits |= (c.parity as u32 ^ prefix) << i;
                 }
                 self.levels[(p - crate::geometry::BLOCK_SHIFT) as usize].min_solution(rhs_bits)
@@ -590,6 +592,21 @@ mod tests {
         assert!(fast.is_empty());
         let naive: Vec<_> = NaiveAgen::new(cs, 0, 1 << 20).collect();
         assert!(naive.is_empty());
+    }
+
+    #[test]
+    fn open_ended_walk_near_u64_top_does_not_overflow() {
+        // An effectively unbounded walk (end ≥ 2^62) must not shift-
+        // overflow while preparing corrector levels; the first addresses
+        // still match the naive generator.
+        let cs = vec![ParityConstraint { mask: (1 << 7) | (1 << 14), parity: true }];
+        let fast: Vec<u64> = StepStoneAgen::new(cs.clone(), 0, u64::MAX >> 1)
+            .take(64)
+            .map(|s| s.pa)
+            .collect();
+        let naive: Vec<u64> =
+            NaiveAgen::new(cs, 0, u64::MAX >> 1).take(64).map(|s| s.pa).collect();
+        assert_eq!(fast, naive);
     }
 
     #[test]

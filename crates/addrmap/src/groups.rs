@@ -272,6 +272,18 @@ impl GroupAnalysis {
         (0..self.layout.rows).filter(|&r| self.group_of_row(r) == group).collect()
     }
 
+    /// AGEN parity constraints selecting all blocks local to `pim` anywhere
+    /// under this analysis's (possibly subset) ID masks — used to carve
+    /// per-PIM buffer regions. The region-carving counterpart of
+    /// [`GroupAnalysis::constraints_for`].
+    pub fn pim_constraints(&self, pim: u32) -> Vec<ParityConstraint> {
+        self.id_masks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
+            .collect()
+    }
+
     /// AGEN parity constraints selecting exactly the blocks of `(pim, group)`
     /// within the matrix (callers append row/column partition constraints).
     pub fn constraints_for(&self, pim: u32, group: usize) -> Vec<ParityConstraint> {

@@ -29,6 +29,7 @@ pub mod layout;
 pub mod mapping;
 pub mod pimlevel;
 pub mod presets;
+pub mod region;
 pub mod reveng;
 
 pub use agen::{AgenStep, NaiveAgen, ParityConstraint, StepStoneAgen};
@@ -38,3 +39,4 @@ pub use layout::MatrixLayout;
 pub use mapping::{Field, XorMapping};
 pub use pimlevel::PimLevel;
 pub use presets::{mapping_by_id, MappingId};
+pub use region::{RegionIter, RegionPlan};

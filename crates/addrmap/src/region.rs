@@ -1,0 +1,437 @@
+//! Lazy per-PIM region plans (the streaming replacement for materialized
+//! region address lists).
+//!
+//! A PIM's localized `B`/partial-`C` region is "the first *N* cache blocks
+//! at or above the arena base whose PIM-ID parities match the unit" — an
+//! ascending walk of the solution set of a small GF(2) parity system, the
+//! same set [`StepStoneAgen`] enumerates. The seed materialized that walk
+//! into a `Vec<u64>` per PIM (O(matrix footprint) resident addresses, just
+//! moved from steps to addresses). [`RegionPlan`] stores the *pattern*
+//! instead of the addresses:
+//!
+//! * The satisfying set is periodic with period `2^(h+1)` (h = highest
+//!   constrained PA bit): adding the period flips no constrained bit.
+//! * Within a period it is a GF(2) coset, so per bit position we can count
+//!   satisfying blocks in an aligned sub-window for each residual parity
+//!   state (≤ `2^constraints` states). That table supports O(address bits)
+//!   rank/select — exact indexed lookup of the i-th region block — in
+//!   O(address bits × 2^constraints) resident words, independent of the
+//!   region's block count.
+//!
+//! Sequential consumers ([`RegionPlan::iter`]) additionally exploit the
+//! span structure surfaced by [`StepStoneAgen::spans`]: inside a
+//! contiguous run (no constrained bit changes) the next address is a plain
+//! block increment, so select() runs once per span, not once per block.
+
+use crate::agen::{satisfies, ParityConstraint, StepStoneAgen};
+use crate::geometry::{BLOCK_BYTES, BLOCK_SHIFT};
+
+/// Succinct rank/select representation of one carved region: the first
+/// `len` satisfying block addresses at or above an arena base, in
+/// ascending order, without materializing them.
+///
+/// Only *constrained* bit positions get a counting level; runs of free
+/// bits between them are handled with plain chunk arithmetic, so resident
+/// storage is O(constrained bits × 2^constraints).
+#[derive(Debug, Clone)]
+pub struct RegionPlan {
+    /// Cleaned constraints (block-offset bits masked away; trivial rows
+    /// dropped) — kept for debug assertions and span detection.
+    cs: Vec<ParityConstraint>,
+    /// Ascending constrained PA bit positions (union of the masks).
+    pbits: Vec<u32>,
+    /// `deltas[i]`: constraint-state flip when bit `pbits[i]` is set
+    /// (bit j set iff constraint j's mask covers that PA bit).
+    deltas: Vec<u32>,
+    /// `counts[i][s]`: satisfying blocks in an aligned `2^pbits[i]`-byte
+    /// window whose residual parity requirement over the constrained bits
+    /// below `pbits[i]` is the state bitset `s`.
+    counts: Vec<Vec<u64>>,
+    /// Required parity state at the top of the descent.
+    target: u32,
+    /// Pattern period in bytes (`2^(h+1)`; one block when unconstrained).
+    period: u64,
+    /// Satisfying blocks per period.
+    per_period: u64,
+    /// Satisfying blocks below the arena base (global select offset).
+    base_rank: u64,
+    /// Arena base the region was carved from.
+    arena: u64,
+    /// Contiguous-run span in bytes (`1 << lowest constrained bit`);
+    /// `u64::MAX` when unconstrained (one unbounded run).
+    run_bytes: u64,
+    len: u64,
+}
+
+impl RegionPlan {
+    /// Plan the first `count` satisfying blocks at or above `arena`
+    /// (block-aligned). Exactly equivalent to
+    /// `StepStoneAgen::new(cs, arena, ∞).take(count)` addresses.
+    pub fn carve(cs: Vec<ParityConstraint>, arena: u64, count: u64) -> Self {
+        debug_assert_eq!(arena % BLOCK_BYTES, 0, "arena must be block-aligned");
+        let mut clean = Vec::with_capacity(cs.len());
+        let mut unsat = false;
+        for c in cs {
+            let mask = c.mask & !(BLOCK_BYTES - 1);
+            if mask == 0 {
+                // Block addresses never set offset bits: the constraint is
+                // a constant — vacuous if even parity, unsatisfiable if odd.
+                unsat |= c.parity;
+            } else {
+                clean.push(ParityConstraint { mask, parity: c.parity });
+            }
+        }
+        let n = clean.len();
+        assert!(n <= 16, "region constraint systems are small (got {n})");
+        let union: u64 = clean.iter().fold(0, |u, c| u | c.mask);
+        let mut pbits = Vec::new();
+        let mut u = union;
+        while u != 0 {
+            pbits.push(u.trailing_zeros());
+            u &= u - 1;
+        }
+        let states = 1usize << n;
+        let deltas: Vec<u32> = pbits
+            .iter()
+            .map(|&p| {
+                let mut d = 0u32;
+                for (j, c) in clean.iter().enumerate() {
+                    d |= ((c.mask >> p & 1) as u32) << j;
+                }
+                d
+            })
+            .collect();
+        // counts[0]: a window below the lowest constrained bit is entirely
+        // free — all `2^(p_0 - BLOCK_SHIFT)` blocks satisfy iff no parity
+        // is still owed.
+        let mut counts = Vec::with_capacity(pbits.len());
+        if let Some(&p0) = pbits.first() {
+            let mut row = vec![0u64; states];
+            row[0] = 1u64 << (p0 - BLOCK_SHIFT);
+            counts.push(row);
+            for i in 0..pbits.len() - 1 {
+                let free = pbits[i + 1] - pbits[i] - 1;
+                let prev = &counts[i];
+                let next: Vec<u64> = (0..states)
+                    .map(|s| (prev[s] + prev[s ^ deltas[i] as usize]) << free)
+                    .collect();
+                counts.push(next);
+            }
+        }
+        let mut target = 0u32;
+        for (j, c) in clean.iter().enumerate() {
+            target |= (c.parity as u32) << j;
+        }
+        let (period, per_period) = match pbits.last() {
+            Some(&h) => {
+                let t = pbits.len() - 1;
+                let top = &counts[t];
+                (
+                    BLOCK_BYTES << (h + 1 - BLOCK_SHIFT),
+                    top[target as usize] + top[(target ^ deltas[t]) as usize],
+                )
+            }
+            None => (BLOCK_BYTES, 1),
+        };
+        let per_period = if unsat { 0 } else { per_period };
+        assert!(
+            count == 0 || per_period > 0,
+            "cannot carve {count} blocks from an unsatisfiable region"
+        );
+        let mut plan = Self {
+            run_bytes: if union == 0 { u64::MAX } else { 1 << union.trailing_zeros() },
+            cs: clean,
+            pbits,
+            deltas,
+            counts,
+            target,
+            period,
+            per_period,
+            base_rank: 0,
+            arena,
+            len: count,
+        };
+        plan.base_rank = plan.rank(arena);
+        plan
+    }
+
+    /// Number of blocks in the region.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident `u64`-equivalent words this plan holds (the benchmark's
+    /// "resident region addresses" figure; a materialized region holds
+    /// `len()` words).
+    pub fn resident_words(&self) -> u64 {
+        self.counts.iter().map(|row| row.len() as u64).sum::<u64>()
+            + self.pbits.len() as u64
+            + self.deltas.len() as u64
+            + self.cs.len() as u64
+    }
+
+    /// Satisfying blocks with address strictly below `x`.
+    fn rank(&self, x: u64) -> u64 {
+        let mut acc = (x / self.period) * self.per_period;
+        let r = x % self.period;
+        let mut s = self.target;
+        let mut window_top = self.period.trailing_zeros();
+        for i in (0..self.pbits.len()).rev() {
+            let p = self.pbits[i];
+            // Free bits strictly between p and the window top: each value
+            // below ours contributes one full 2^(p+1) chunk of blocks.
+            let free_val = (r >> (p + 1)) & ((1u64 << (window_top - p - 1)) - 1);
+            let pair =
+                self.counts[i][s as usize] + self.counts[i][(s ^ self.deltas[i]) as usize];
+            acc += free_val * pair;
+            if r >> p & 1 == 1 {
+                acc += self.counts[i][s as usize];
+                s ^= self.deltas[i];
+            }
+            window_top = p;
+        }
+        // The fully-free tail below the lowest constrained bit.
+        if s == self.tail_state() {
+            acc += (r & ((1u64 << window_top) - 1)) >> BLOCK_SHIFT;
+        }
+        acc
+    }
+
+    /// Address of the `m`-th satisfying block (global, 0-indexed from
+    /// address 0).
+    fn select(&self, m: u64) -> u64 {
+        let q = m / self.per_period;
+        let mut r = m % self.per_period;
+        let mut addr = q * self.period;
+        let mut s = self.target;
+        let mut window_top = self.period.trailing_zeros();
+        for i in (0..self.pbits.len()).rev() {
+            let p = self.pbits[i];
+            let pair =
+                self.counts[i][s as usize] + self.counts[i][(s ^ self.deltas[i]) as usize];
+            let chunk = r / pair;
+            r %= pair;
+            debug_assert!(chunk < (1u64 << (window_top - p - 1)));
+            addr |= chunk << (p + 1);
+            let left = self.counts[i][s as usize];
+            if r >= left {
+                r -= left;
+                addr |= 1u64 << p;
+                s ^= self.deltas[i];
+            }
+            window_top = p;
+        }
+        debug_assert!(s == self.tail_state(), "descent must discharge every parity");
+        addr |= r << BLOCK_SHIFT;
+        debug_assert!(satisfies(addr, &self.cs));
+        addr
+    }
+
+    /// The only satisfiable residual state once all constrained bits are
+    /// fixed: every parity discharged.
+    #[inline]
+    fn tail_state(&self) -> u32 {
+        0
+    }
+
+    /// Address of the `ix`-th region block — O(address bits), no lookup
+    /// table proportional to the region.
+    pub fn get(&self, ix: u64) -> u64 {
+        assert!(ix < self.len, "region index {ix} out of bounds ({})", self.len);
+        self.select(self.base_rank + ix)
+    }
+
+    /// Lazy ascending iteration over all region blocks.
+    pub fn iter(&self) -> RegionIter<'_> {
+        self.iter_range(0, self.len)
+    }
+
+    /// Lazy ascending iteration over region indices `[lo, hi)`.
+    pub fn iter_range(&self, lo: u64, hi: u64) -> RegionIter<'_> {
+        assert!(lo <= hi && hi <= self.len, "bad region range {lo}..{hi} of {}", self.len);
+        RegionIter { plan: self, ix: lo, end: hi, next_addr: None }
+    }
+
+    /// Materialize the whole region via the plan's own cursors (tests).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Materialize the region with the *seed-era* `StepStoneAgen` walk —
+    /// identical addresses, but the seed's generation cost. The frozen
+    /// seed-replay baseline must pay the seed's price for region carving,
+    /// not whatever this plan's rank/select machinery costs today.
+    pub fn materialize_seed(&self) -> Vec<u64> {
+        StepStoneAgen::new(self.cs.clone(), self.arena, self.arena + (1 << 40))
+            .take(self.len as usize)
+            .map(|s| s.pa)
+            .collect()
+    }
+}
+
+/// Lazy cursor over a [`RegionPlan`]: one select() per contiguous run,
+/// plain block increments inside a run.
+#[derive(Debug, Clone)]
+pub struct RegionIter<'a> {
+    plan: &'a RegionPlan,
+    ix: u64,
+    end: u64,
+    /// Precomputed next address when it is a same-run increment.
+    next_addr: Option<u64>,
+}
+
+impl Iterator for RegionIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.ix >= self.end {
+            return None;
+        }
+        let addr = match self.next_addr.take() {
+            Some(a) => a,
+            None => self.plan.select(self.plan.base_rank + self.ix),
+        };
+        self.ix += 1;
+        if self.ix < self.end {
+            let cand = addr + BLOCK_BYTES;
+            let contiguous = match self.plan.run_bytes {
+                u64::MAX => true,
+                rb => !cand.is_multiple_of(rb),
+            };
+            if contiguous {
+                self.next_addr = Some(cand);
+            }
+        }
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.ix) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RegionIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agen::NaiveAgen;
+    use crate::pimlevel::PimLevel;
+    use crate::presets::{mapping_by_id, MappingId};
+
+    fn naive_region(cs: &[ParityConstraint], arena: u64, count: u64) -> Vec<u64> {
+        NaiveAgen::new(cs.to_vec(), arena, u64::MAX >> 1)
+            .take(count as usize)
+            .map(|s| s.pa)
+            .collect()
+    }
+
+    fn id_constraints(level: PimLevel, mapping_id: MappingId, pim: u32) -> Vec<ParityConstraint> {
+        let m = mapping_by_id(mapping_id);
+        level
+            .id_masks(&m)
+            .iter()
+            .enumerate()
+            .map(|(i, &mask)| ParityConstraint { mask, parity: pim >> i & 1 == 1 })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_walk_for_all_levels_and_pims() {
+        for mapping_id in [MappingId::Skylake, MappingId::Haswell, MappingId::Exynos] {
+            for level in PimLevel::ALL {
+                let geom = *mapping_by_id(mapping_id).geometry();
+                for pim in 0..level.pim_count(&geom) {
+                    let cs = id_constraints(level, mapping_id, pim);
+                    let arena = 1u64 << 33;
+                    let count = 300;
+                    let plan = RegionPlan::carve(cs.clone(), arena, count);
+                    let naive = naive_region(&cs, arena, count);
+                    assert_eq!(plan.len(), count);
+                    let via_get: Vec<u64> = (0..count).map(|i| plan.get(i)).collect();
+                    let via_iter: Vec<u64> = plan.iter().collect();
+                    assert_eq!(via_get, naive, "{mapping_id:?} {level:?} pim {pim} (get)");
+                    assert_eq!(via_iter, naive, "{mapping_id:?} {level:?} pim {pim} (iter)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_multiple_periods_and_unaligned_arenas() {
+        // Small masks → small period, so a few hundred blocks wrap the
+        // pattern many times; the arena is deliberately not period-aligned.
+        let cs = vec![
+            ParityConstraint { mask: (1 << 7) | (1 << 9), parity: true },
+            ParityConstraint { mask: 1 << 8, parity: false },
+        ];
+        let plan = RegionPlan::carve(cs.clone(), 0, 4);
+        assert_eq!(plan.period, 1 << 10, "period = 2^(highest constrained bit + 1)");
+        for arena_blk in [0u64, 1, 3, 17, 100] {
+            let arena = arena_blk * BLOCK_BYTES;
+            let count = 500;
+            let plan = RegionPlan::carve(cs.clone(), arena, count);
+            assert_eq!(plan.to_vec(), naive_region(&cs, arena, count), "arena {arena}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_region_is_contiguous() {
+        let plan = RegionPlan::carve(vec![], 1 << 20, 64);
+        let expect: Vec<u64> = (0..64u64).map(|i| (1 << 20) + i * BLOCK_BYTES).collect();
+        assert_eq!(plan.to_vec(), expect);
+        assert_eq!(plan.get(63), (1 << 20) + 63 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn iter_range_matches_indexed_access() {
+        let cs = id_constraints(PimLevel::BankGroup, MappingId::Skylake, 11);
+        let plan = RegionPlan::carve(cs, 1 << 33, 1000);
+        let lo = 123;
+        let hi = 777;
+        let ranged: Vec<u64> = plan.iter_range(lo, hi).collect();
+        let indexed: Vec<u64> = (lo..hi).map(|i| plan.get(i)).collect();
+        assert_eq!(ranged, indexed);
+        assert_eq!(plan.iter_range(5, 5).count(), 0);
+    }
+
+    #[test]
+    fn seed_materialization_matches_plan_cursors() {
+        let cs = id_constraints(PimLevel::BankGroup, MappingId::Skylake, 9);
+        let plan = RegionPlan::carve(cs, 1 << 33, 700);
+        assert_eq!(plan.materialize_seed(), plan.to_vec());
+    }
+
+    #[test]
+    fn resident_storage_is_independent_of_region_size() {
+        let cs = id_constraints(PimLevel::BankGroup, MappingId::Skylake, 5);
+        let small = RegionPlan::carve(cs.clone(), 1 << 33, 100);
+        let large = RegionPlan::carve(cs, 1 << 33, 1_000_000);
+        assert_eq!(small.resident_words(), large.resident_words());
+        assert!(large.resident_words() * 100 < large.len(), "≥100× below materialized");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn unsatisfiable_carve_panics() {
+        let cs = vec![
+            ParityConstraint { mask: 1 << 8, parity: true },
+            ParityConstraint { mask: 1 << 8, parity: false },
+        ];
+        let _ = RegionPlan::carve(cs, 0, 10);
+    }
+
+    #[test]
+    fn vacuous_and_zero_mask_constraints_are_cleaned() {
+        // A mask entirely inside the block offset can never be odd for a
+        // block address: parity=false is vacuous.
+        let cs = vec![ParityConstraint { mask: 0x3f, parity: false }];
+        let plan = RegionPlan::carve(cs, 0, 8);
+        assert_eq!(plan.to_vec(), (0..8u64).map(|i| i * BLOCK_BYTES).collect::<Vec<_>>());
+    }
+}

@@ -1,5 +1,6 @@
-//! End-to-end simulator hot-path benchmark: streaming step programs vs the
-//! seed's materialize-then-replay path, on a paper-scale GEMM.
+//! End-to-end simulator hot-path benchmark: the streaming engine (with and
+//! without per-channel parallel sharding) vs the seed's
+//! materialize-then-replay path, on a paper-scale GEMM.
 //!
 //! Emits `BENCH_sim.json` (in the working directory) so the perf
 //! trajectory of the simulation hot path is tracked from PR to PR:
@@ -7,10 +8,12 @@
 //! ```json
 //! {
 //!   "bench": "sim_hot_path",
-//!   "config": {"m":…, "k":…, "n":…, "level":"BG"},
+//!   "config": {"m":…, "k":…, "n":…, "level":"BG", "pims":…, "threads":…},
 //!   "runs": [{"mode":…, "wall_ns":…, "blocks":…, "ns_per_block":…,
 //!             "sim_cycles":…, "peak_resident_steps":…}, …],
+//!   "region_addrs": {"materialized":…, "resident":…, "drop":…},
 //!   "speedup_streaming_vs_seed": …,
+//!   "speedup_parallel_vs_serial": …,
 //!   "cycle_exact": true
 //! }
 //! ```
@@ -48,22 +51,47 @@ fn main() {
     };
     let level = PimLevel::BankGroup;
     let sys = SystemConfig::default();
+    let serial_sys = SystemConfig { parallel: false, ..sys.clone() };
     let spec = GemmSpec::new(m, k, n);
     assert!(spec.is_pow2(), "bench uses a single power-of-two GEMM");
     let opts = SimOptions::stepstone(level);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
 
-    // Resident-step accounting, outside the timed region. Streaming holds
-    // at most the reorder window per unit; the materialized path holds the
-    // whole kernel program per unit.
+    // Resident accounting, outside the timed region. Streaming holds at
+    // most the reorder window per unit; the materialized path holds the
+    // whole kernel program per unit. Region addresses: the span-backed
+    // plans hold O(address bits × 2^ID bits) words, the seed held every
+    // address.
     let ctx = GemmContext::build(&sys, &spec, &opts);
     let units = ctx.active_pims.len() as u64;
     let window_cap = (opts.level_cfg.pipeline_depth as u64 / 2).clamp(1, 8);
     let materialized_steps: u64 = (0..ctx.active_pims.len())
         .map(|pix| build_kernel_program_for(&ctx, &sys, &opts, pix).len() as u64)
         .sum();
+    let region_addrs_materialized: u64 = ctx
+        .b_regions
+        .iter()
+        .chain(ctx.c_regions.iter())
+        .map(|r| r.len())
+        .sum();
+    let region_addrs_resident: u64 = ctx
+        .b_regions
+        .iter()
+        .chain(ctx.c_regions.iter())
+        .map(|r| r.resident_words())
+        .sum();
+    let region_drop = region_addrs_materialized as f64 / region_addrs_resident.max(1) as f64;
     drop(ctx);
 
-    println!("bench_sim: {m}x{k} N={n} STP-{} ({} PIMs)", level.tag(), units);
+    println!(
+        "bench_sim: {m}x{k} N={n} STP-{} ({} PIMs, {threads} threads)",
+        level.tag(),
+        units
+    );
+    println!(
+        "  region addresses: {region_addrs_materialized} materialized -> \
+         {region_addrs_resident} resident words ({region_drop:.0}x drop)"
+    );
     let mut runs = Vec::new();
     type SimFn = Box<dyn Fn() -> LatencyReport>;
     let cases: Vec<(&'static str, u64, SimFn)> = vec![
@@ -76,10 +104,18 @@ fn main() {
             }),
         ),
         (
+            "streaming-serial",
+            units * (window_cap + 1),
+            Box::new({
+                let (sys, spec, opts) = (serial_sys.clone(), spec, opts.clone());
+                move || simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming)
+            }),
+        ),
+        (
             "seed-replay",
             materialized_steps,
             Box::new({
-                let (sys, spec, opts) = (sys.clone(), spec, opts.clone());
+                let (sys, spec, opts) = (serial_sys.clone(), spec, opts.clone());
                 move || simulate_pow2_gemm_seed(&sys, &spec, &opts)
             }),
         ),
@@ -109,13 +145,16 @@ fn main() {
         w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
     });
     assert!(cycle_exact, "execution modes disagree on simulated cycles/blocks");
-    let speedup = runs[1].wall_ns as f64 / runs[0].wall_ns as f64;
+    let speedup = runs[2].wall_ns as f64 / runs[0].wall_ns as f64;
+    let par_speedup = runs[1].wall_ns as f64 / runs[0].wall_ns as f64;
     println!("  speedup streaming vs seed path: {speedup:.2}x (cycle-exact: {cycle_exact})");
+    println!("  speedup parallel vs serial engine: {par_speedup:.2}x ({threads} threads)");
 
     let mut json = String::from("{\n  \"bench\": \"sim_hot_path\",\n");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"level\": \"{}\", \"pims\": {units}}},",
+        "  \"config\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"level\": \"{}\", \
+         \"pims\": {units}, \"threads\": {threads}}},",
         level.tag()
     );
     json.push_str("  \"runs\": [\n");
@@ -134,7 +173,13 @@ fn main() {
         json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"region_addrs\": {{\"materialized\": {region_addrs_materialized}, \
+         \"resident\": {region_addrs_resident}, \"drop\": {region_drop:.1}}},"
+    );
     let _ = writeln!(json, "  \"speedup_streaming_vs_seed\": {speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {par_speedup:.3},");
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

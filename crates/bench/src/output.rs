@@ -102,9 +102,9 @@ impl FigureResult {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = write!(out, "  \"id\": {},\n  \"title\": {},\n", json_str(&self.id), json_str(&self.title));
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "  \"notes\": [{}],\n",
+            "  \"notes\": [{}],",
             self.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ")
         );
         out.push_str("  \"tables\": [");

@@ -11,6 +11,18 @@
 //! seed's per-candidate GF(2) corrector (`ExecMode::MaterializedSeedAgen`).
 //! `bench_sim` cross-checks cycle-exactness between this replayer and the
 //! streaming engine on every run.
+//!
+//! Cost-basis note (PR 2): `GemmContext` now carves regions as lazy
+//! `RegionPlan`s, so the seed's original materialize-everything carve no
+//! longer happens inside `GemmContext::build`. The replay re-pays the
+//! seed's carve price here — `transfer_programs` materializes every region
+//! through the seed-era `StepStoneAgen` walk
+//! ([`stepstone_addr::RegionPlan::materialize_seed`]) — but the kernel
+//! programs' fill/drain addresses are generated through the production
+//! region cursors (address-identical; single-digit-% of baseline wall
+//! time). PR-2-and-later speedup numbers therefore sit on a slightly
+//! different baseline measurement than PR 1's 2.24×; compare within a
+//! basis, not across.
 
 use std::collections::VecDeque;
 use stepstone_addr::{DramCoord, XorMapping};
@@ -287,22 +299,23 @@ pub fn run_phase_seed(
 }
 
 /// Materialized per-channel DMA transfer programs (the seed built these
-/// eagerly; one interleaved `Vec<Step>` per channel).
+/// eagerly; one interleaved `Vec<Step>` per channel). The production path
+/// streams region plans; the seed baseline faithfully materializes them.
 fn transfer_programs(
     ctx: &GemmContext,
-    regions: &[Vec<u64>],
+    regions: &[stepstone_addr::RegionPlan],
     write: bool,
     cat: Phase,
 ) -> Vec<(u32, Vec<Step>)> {
     let channels = ctx.mapping.geometry().channels;
     (0..channels)
         .map(|ch| {
-            let mine: Vec<&Vec<u64>> = ctx
+            let mine: Vec<Vec<u64>> = ctx
                 .active_pims
                 .iter()
                 .enumerate()
                 .filter(|(_, &pim)| ctx.pim_channel(pim) == ch)
-                .map(|(pix, _)| &regions[pix])
+                .map(|(pix, _)| regions[pix].materialize_seed())
                 .collect();
             let longest = mine.iter().map(|r| r.len()).max().unwrap_or(0);
             let mut steps = Vec::new();

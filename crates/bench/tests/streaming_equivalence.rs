@@ -42,6 +42,42 @@ fn streaming_matches_seed_engine_across_levels_and_shapes() {
 }
 
 #[test]
+fn parallel_channel_execution_matches_serial_and_seed() {
+    // The per-channel parallel engine must be cycle-exact with the serial
+    // scheduler (and therefore with the frozen seed replay): units on
+    // different channels share no DRAM timing state, so sharding is pure
+    // re-ordering of independent commits.
+    let par_sys = SystemConfig::default();
+    assert!(par_sys.parallel, "parallel channels are the default");
+    let serial_sys = SystemConfig { parallel: false, ..SystemConfig::default() };
+    let shapes = [(256, 1024, 4), (512, 2048, 8), (1024, 1024, 2)];
+    for (m, k, n) in shapes {
+        let spec = GemmSpec::new(m, k, n);
+        for level in PimLevel::ALL {
+            let opts = SimOptions::stepstone(level);
+            let parallel =
+                simulate_pow2_gemm_exec(&par_sys, &spec, &opts, None, ExecMode::Streaming);
+            let serial =
+                simulate_pow2_gemm_exec(&serial_sys, &spec, &opts, None, ExecMode::Streaming);
+            let seed = simulate_pow2_gemm_seed(&serial_sys, &spec, &opts);
+            let what = format!("{m}x{k} N={n} {level:?}");
+            assert_reports_equal(&parallel, &serial, &format!("{what} (parallel vs serial)"));
+            assert_reports_equal(&parallel, &seed, &format!("{what} (parallel vs seed)"));
+        }
+    }
+    // The subset remap and eCHO program shapes shard identically.
+    let spec = GemmSpec::new(512, 2048, 4);
+    for opts in [
+        SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
+        SimOptions::echo(PimLevel::BankGroup),
+    ] {
+        let parallel = simulate_pow2_gemm_exec(&par_sys, &spec, &opts, None, ExecMode::Streaming);
+        let serial = simulate_pow2_gemm_exec(&serial_sys, &spec, &opts, None, ExecMode::Streaming);
+        assert_reports_equal(&parallel, &serial, &format!("{:?} (parallel)", opts.granularity));
+    }
+}
+
+#[test]
 fn streaming_matches_seed_engine_with_subset_and_echo() {
     // The subset remap and eCHO granularity exercise the remaining program
     // shapes (per-row launches, dropped ID bits).

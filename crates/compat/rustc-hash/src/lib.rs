@@ -89,13 +89,9 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic_and_spreads() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let h = |x: u64| {
-            let mut s = bh.build_hasher();
-            x.hash(&mut s);
-            s.finish()
-        };
+        let h = |x: u64| bh.hash_one(x);
         assert_eq!(h(42), h(42));
         let distinct: FxHashSet<u64> = (0..4096u64).map(h).collect();
         assert_eq!(distinct.len(), 4096);

@@ -16,11 +16,11 @@
 //! [`crate::flow`] (per-dot-product granularity + host-mediated copies).
 
 use crate::config::SystemConfig;
-use crate::engine::{run_phase, Step, TrafficCursor, UnitCursor};
+use crate::engine::{run_phase_auto, Step, TrafficCursor, UnitCursor};
 use crate::flow::{GemmContext, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
-use stepstone_addr::{ParityConstraint, PimLevel, StepStoneAgen};
+use stepstone_addr::{PimLevel, RegionPlan, StepStoneAgen};
 use stepstone_dram::{CommandBus, TimingState, TrafficSource};
 #[cfg(test)]
 use stepstone_dram::Port;
@@ -71,7 +71,7 @@ fn simulate_pei_pow2(
         0,
         HOST_COPY_GAP,
     );
-    let loc_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut());
+    let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Localization, loc_end);
 
     // Kernel: one command packet per cache block, in plain address order
@@ -81,14 +81,7 @@ fn simulate_pei_pow2(
         .active_pims
         .iter()
         .map(|&pim| {
-            let cs: Vec<ParityConstraint> = ctx
-                .ga
-                .id_masks
-                .iter()
-                .enumerate()
-                .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
-                .collect();
-            let steps = StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end())
+            let steps = StepStoneAgen::new(ctx.ga.pim_constraints(pim), ctx.layout.base, ctx.layout.end())
                 .flat_map(|s| {
                     [
                         Step::Launch,
@@ -120,7 +113,7 @@ fn simulate_pei_pow2(
             u
         })
         .collect();
-    let kernel_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut());
+    let kernel_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
     let mut activity = ActivityCounts::default();
     for u in &units {
         report.phase_cycles[Phase::Gemm.index()] =
@@ -139,7 +132,7 @@ fn simulate_pei_pow2(
         kernel_end,
         HOST_COPY_GAP,
     );
-    let red_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut());
+    let red_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Reduction, red_end - kernel_end);
     report.total = red_end;
     report.dram = ts.stats;
@@ -186,22 +179,15 @@ fn simulate_ncho_pow2(
     // partials — no grouping means every PIM touches every output row).
     let b_blocks = (spec.k as u64 * 4).div_ceil(64);
     let y_blocks = (spec.m as u64 * 4).div_ceil(64);
-    let carve = |pim: u32, arena: u64, count: u64| -> Vec<u64> {
-        let cs: Vec<ParityConstraint> = ctx
-            .ga
-            .id_masks
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
-            .collect();
-        StepStoneAgen::new(cs, arena, arena + (1 << 40)).take(count as usize).map(|s| s.pa).collect()
+    let carve = |pim: u32, arena: u64, count: u64| -> RegionPlan {
+        RegionPlan::carve(ctx.ga.pim_constraints(pim), arena, count)
     };
-    let b_regions: Vec<Vec<u64>> = ctx
+    let b_regions: Vec<RegionPlan> = ctx
         .active_pims
         .iter()
         .map(|&p| carve(p, sys.buffer_base, b_blocks))
         .collect();
-    let y_regions: Vec<Vec<u64>> = ctx
+    let y_regions: Vec<RegionPlan> = ctx
         .active_pims
         .iter()
         .map(|&p| carve(p, sys.buffer_base + (1 << 31), y_blocks))
@@ -219,7 +205,7 @@ fn simulate_ncho_pow2(
             t,
             HOST_COPY_GAP,
         );
-        let loc_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut());
+        let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
         report.add_phase(Phase::Localization, loc_end - t);
 
         // GEMV kernel per PIM: fill b, stream all local A blocks, drain y —
@@ -229,14 +215,8 @@ fn simulate_ncho_pow2(
             .iter()
             .enumerate()
             .map(|(pix, &pim)| {
-                let cs: Vec<ParityConstraint> = ctx
-                    .ga
-                    .id_masks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
-                    .collect();
-                let fill_b = b_regions[pix].iter().map(|&pa| Step::Access {
+                let cs = ctx.ga.pim_constraints(pim);
+                let fill_b = b_regions[pix].iter().map(|pa| Step::Access {
                     pa,
                     write: false,
                     cat: Phase::FillB,
@@ -254,7 +234,7 @@ fn simulate_ncho_pow2(
                         compute: true,
                     }
                 });
-                let drain_y = y_regions[pix].iter().map(|&pa| Step::Access {
+                let drain_y = y_regions[pix].iter().map(|pa| Step::Access {
                     pa,
                     write: true,
                     cat: Phase::DrainC,
@@ -278,7 +258,7 @@ fn simulate_ncho_pow2(
                 )
             })
             .collect();
-        let kernel_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut());
+        let kernel_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
         for u in &units {
             for p in [Phase::Gemm, Phase::FillB, Phase::DrainC] {
                 let i = p.index();
@@ -298,7 +278,7 @@ fn simulate_ncho_pow2(
             kernel_end,
             HOST_COPY_GAP,
         );
-        let red_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut());
+        let red_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
         report.add_phase(Phase::Reduction, red_end - kernel_end);
         t = red_end;
     }

@@ -37,6 +37,9 @@ pub struct SystemConfig {
     pub buffer_base: u64,
     /// Run the functional datapath and verify results (small GEMMs only).
     pub validate: bool,
+    /// Simulate independent channels in parallel (cycle-exact; disabled
+    /// automatically when colocated traffic or command tracing is active).
+    pub parallel: bool,
 }
 
 impl Default for SystemConfig {
@@ -50,6 +53,7 @@ impl Default for SystemConfig {
             weight_base: 1 << 30,
             buffer_base: 1 << 33,
             validate: false,
+            parallel: true,
         }
     }
 }

@@ -16,7 +16,7 @@
 use crate::report::Phase;
 use std::collections::VecDeque;
 use stepstone_addr::{DramCoord, XorMapping};
-use stepstone_dram::{CasKind, CommandBus, Port, TimingState, TrafficSource};
+use stepstone_dram::{CasKind, CommandBus, DramStats, Port, TimingState, TrafficSource};
 
 /// One operation in a unit's program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,7 @@ pub struct UnitCursor<'a> {
     /// Channel this unit's control packets ride on.
     pub channel: u32,
     pub port: Port,
-    steps: Box<dyn Iterator<Item = Step> + 'a>,
+    steps: Box<dyn Iterator<Item = Step> + Send + 'a>,
     peeked: Option<Step>,
     /// In-order AGEN output awaiting issue; the PIM's memory sequencer may
     /// issue any of these out of order (a small FR-FCFS-like window that a
@@ -94,7 +94,6 @@ pub struct UnitCursor<'a> {
     gen_clock: u64,
     /// Earliest desired issue time of the next command.
     pub not_before: u64,
-    prev_cas: u64,
     simd_free: u64,
     inflight: VecDeque<u64>,
     launch_avail: u64,
@@ -131,7 +130,7 @@ impl<'a> UnitCursor<'a> {
         label: &'static str,
         channel: u32,
         port: Port,
-        steps: impl Iterator<Item = Step> + 'a,
+        steps: impl Iterator<Item = Step> + Send + 'a,
         start: u64,
         compute_cycles_per_block: u64,
         simd_ops_per_block: u64,
@@ -151,7 +150,6 @@ impl<'a> UnitCursor<'a> {
             window_cap: (pipeline_depth / 2).clamp(1, 8),
             gen_clock: start,
             not_before: start,
-            prev_cas: start,
             simd_free: start,
             inflight: VecDeque::with_capacity(pipeline_depth),
             launch_avail: start,
@@ -183,7 +181,7 @@ impl<'a> UnitCursor<'a> {
         label: &'static str,
         channel: u32,
         port: Port,
-        steps: impl Iterator<Item = Step> + 'a,
+        steps: impl Iterator<Item = Step> + Send + 'a,
         start: u64,
         inter_block_gap: u64,
     ) -> Self {
@@ -217,6 +215,14 @@ impl<'a> UnitCursor<'a> {
                     if let Some(su) = &self.subset {
                         coord = su.remap(coord, pa);
                     }
+                    // Per-channel phase sharding (run_phase_auto) relies on
+                    // every access landing on the unit's declared channel;
+                    // a violation would silently vanish at state merge.
+                    debug_assert_eq!(
+                        coord.channel, self.channel,
+                        "unit '{}' issued a cross-channel access (pa {pa:#x})",
+                        self.label
+                    );
                     self.window.push_back(WinEntry {
                         coord,
                         write,
@@ -328,7 +334,6 @@ impl<'a> UnitCursor<'a> {
             self.pending_kernel_start = false;
             self.launch_req = bt.cas_at;
         }
-        self.prev_cas = bt.cas_at;
         // Host-mediated streams (CPU loads/stores) leave the bus idle
         // between transfers; the DMA engine does not.
         self.not_before = if self.host_gap > 0 {
@@ -392,12 +397,18 @@ impl<'a> TrafficCursor<'a> {
     }
 
     fn peek_time(&mut self) -> Option<u64> {
+        self.peek_arrival()?;
+        Some(self.arrival.max(self.last_issue))
+    }
+
+    /// Arrival time of the next pending request (pulls one if needed).
+    fn peek_arrival(&mut self) -> Option<u64> {
         if self.pending.is_none() {
             let req = self.src.next_req()?;
             self.arrival += req.gap;
             self.pending = Some(req);
         }
-        Some(self.arrival.max(self.last_issue))
+        Some(self.arrival)
     }
 
     fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
@@ -425,6 +436,18 @@ pub fn run_phase(
     bus: &mut CommandBus,
     mapping: &XorMapping,
     units: &mut [UnitCursor],
+    traffic: Option<&mut TrafficCursor>,
+) -> u64 {
+    let mut refs: Vec<&mut UnitCursor> = units.iter_mut().collect();
+    run_units(ts, bus, mapping, &mut refs, traffic)
+}
+
+/// The serial phase engine over a pre-selected set of units.
+fn run_units(
+    ts: &mut TimingState,
+    bus: &mut CommandBus,
+    mapping: &XorMapping,
+    units: &mut [&mut UnitCursor],
     mut traffic: Option<&mut TrafficCursor>,
 ) -> u64 {
     use std::cmp::Reverse;
@@ -450,6 +473,74 @@ pub fn run_phase(
     for u in units.iter_mut() {
         u.finish();
         end = end.max(u.end_time);
+    }
+    // Serve CPU traffic that arrived within the phase but after the last
+    // unit event — leaving it pending would bias mean latency low (the
+    // unserved tail simply vanished from the statistics). Requests arriving
+    // past the phase end stay pending for the next phase.
+    if let Some(tc) = traffic {
+        while tc.peek_arrival().is_some_and(|a| a <= end) {
+            tc.advance(ts, bus, mapping);
+        }
+    }
+    end
+}
+
+/// Run a phase with per-channel parallelism when the unit set allows it.
+///
+/// PIM units and DMA transfer cursors only ever touch addresses on their
+/// own channel (regions and walks are carved from the unit's PIM-ID
+/// parities, which pin the channel bits), and all DRAM timing state —
+/// banks, ranks, datapaths, refresh deadlines, command-bus slots — is
+/// per-channel. Units on different channels therefore share *no* mutable
+/// state, and simulating each channel group in isolation is cycle-exact
+/// with the serial interleaving; only the global statistics need merging.
+///
+/// Falls back to the serial engine when colocated traffic is present (a
+/// `TrafficCursor` may roam across channels), when command tracing is
+/// active (the trace must stay time-ordered), or when fewer than two
+/// channel groups exist.
+pub fn run_phase_auto(
+    ts: &mut TimingState,
+    bus: &mut CommandBus,
+    mapping: &XorMapping,
+    units: &mut [UnitCursor],
+    traffic: Option<&mut TrafficCursor>,
+    parallel: bool,
+) -> u64 {
+    let multi_channel =
+        units.first().is_some_and(|f| units.iter().any(|u| u.channel != f.channel));
+    if !parallel || traffic.is_some() || ts.trace_enabled() || !multi_channel {
+        return run_phase(ts, bus, mapping, units, traffic);
+    }
+    // Group units by channel, preserving intra-group order (the heap's
+    // index tie-break is per-group, matching the serial order within a
+    // channel — the only order that matters).
+    let mut groups: Vec<(u32, Vec<&mut UnitCursor>)> = Vec::new();
+    for u in units.iter_mut() {
+        let ch = u.channel;
+        match groups.iter_mut().find(|(c, _)| *c == ch) {
+            Some((_, g)) => g.push(u),
+            None => groups.push((ch, vec![u])),
+        }
+    }
+    use rayon::prelude::*;
+    let results: Vec<(u32, TimingState, CommandBus, u64)> = groups
+        .into_par_iter()
+        .map(|(ch, mut group)| {
+            let mut lts = ts.clone();
+            lts.stats = DramStats::default();
+            let mut lbus = bus.clone();
+            let end = run_units(&mut lts, &mut lbus, mapping, &mut group, None);
+            (ch, lts, lbus, end)
+        })
+        .collect();
+    let mut end = 0;
+    for (ch, lts, lbus, group_end) in &results {
+        ts.adopt_channel(lts, *ch);
+        ts.stats.merge(&lts.stats);
+        bus.adopt_channel(lbus, *ch as usize);
+        end = end.max(*group_end);
     }
     end
 }
@@ -529,6 +620,38 @@ mod tests {
         let c1 = remap.remap(base, 1 << 7); // parity 1
         assert_eq!(c1.bankgroup, 1);
         assert_eq!(c1.row, 5 | (1 << 15), "parity folded into a high row bit");
+    }
+
+    #[test]
+    fn traffic_arriving_after_last_unit_event_is_drained() {
+        // An open-loop source keeps generating requests after the lone
+        // unit's single access completes. Requests arriving within the
+        // phase must still be served (dropping them biased mean latency
+        // low); requests arriving after the phase end stay pending.
+        struct Gapped(u32);
+        impl TrafficSource for Gapped {
+            fn next_req(&mut self) -> Option<TrafficReq> {
+                if self.0 == 0 {
+                    return None;
+                }
+                self.0 -= 1;
+                Some(TrafficReq { pa: 64 * (self.0 as u64 + 1), write: false, gap: 10 })
+            }
+        }
+        let mapping = mapping_by_id(MappingId::Skylake);
+        let mut ts = TimingState::new(DramConfig::default());
+        let mut bus = CommandBus::new(2);
+        let mut src = Gapped(1000);
+        let mut tc = TrafficCursor::new(&mut src, 0);
+        let mut units = vec![UnitCursor::new(
+            "t", 0, Port::Channel, vec![read_step(0)].into_iter(), 0, 0, 0, 8, 0, 0, 4, None,
+        )];
+        let end = run_phase(&mut ts, &mut bus, &mapping, &mut units, Some(&mut tc));
+        // Arrivals land at 10, 20, 30, …: everything up to the phase end is
+        // served, nothing beyond.
+        assert_eq!(tc.served, end / 10, "served all phase-window arrivals (end={end})");
+        assert!(tc.served >= 2, "the unit's access outlives several arrivals");
+        assert!(tc.served < 1000, "the drain is bounded by the phase end");
     }
 
     #[test]

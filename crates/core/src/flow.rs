@@ -14,14 +14,14 @@
 //! 3. **Reduction** — partial `C` copies are merged over the channel.
 
 use crate::config::{AgenMode, SystemConfig};
-use crate::engine::{run_phase, Step, SubsetRemap, TrafficCursor, UnitCursor};
+use crate::engine::{run_phase_auto, Step, SubsetRemap, TrafficCursor, UnitCursor};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::agen::Spans;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{
-    GroupAnalysis, MatrixLayout, NaiveAgen, ParityConstraint, PimLevel, StepStoneAgen, XorMapping,
-    BLOCK_BYTES,
+    GroupAnalysis, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
+    StepStoneAgen, XorMapping, BLOCK_BYTES,
 };
 use stepstone_dram::{CommandBus, Port, TimingState, TrafficSource};
 use stepstone_pim::{
@@ -114,10 +114,10 @@ pub struct GemmContext {
     pub transfer: TransferPlan,
     pub active_pims: Vec<u32>,
     pub n: usize,
-    /// Per-active-PIM localized `B` region block addresses.
-    pub b_regions: Vec<Vec<u64>>,
-    /// Per-active-PIM partial-`C` region block addresses.
-    pub c_regions: Vec<Vec<u64>>,
+    /// Per-active-PIM localized `B` region (lazy span-backed plan).
+    pub b_regions: Vec<RegionPlan>,
+    /// Per-active-PIM partial-`C` region (lazy span-backed plan).
+    pub c_regions: Vec<RegionPlan>,
     /// Per-PIM, per-row-partition resident `C` blocks.
     pub c_blocks_by_rpart: Vec<Vec<u64>>,
     /// Per-PIM, per (group visit index, cpart): `B` slice length in blocks.
@@ -178,18 +178,11 @@ impl GemmContext {
             c_blocks_by_rpart.push(per);
         }
 
-        // Carve per-PIM regions out of the buffer arenas.
-        let id_masks = ga.id_masks.clone();
-        let region = |pim: u32, arena: u64, count: u64| -> Vec<u64> {
-            let cs: Vec<ParityConstraint> = id_masks
-                .iter()
-                .enumerate()
-                .map(|(i, &m)| ParityConstraint { mask: m, parity: pim >> i & 1 == 1 })
-                .collect();
-            StepStoneAgen::new(cs, arena, arena + (1 << 40))
-                .take(count as usize)
-                .map(|s| s.pa)
-                .collect()
+        // Carve per-PIM regions out of the buffer arenas: span-backed plans
+        // instead of materialized address lists (resident storage is
+        // O(constrained bits × 2^ID bits) per plan, not O(region blocks)).
+        let region = |pim: u32, arena: u64, count: u64| -> RegionPlan {
+            RegionPlan::carve(ga.pim_constraints(pim), arena, count)
         };
         let c_arena = sys.buffer_base + (1u64 << 31);
         let mut b_regions = Vec::with_capacity(active_pims.len());
@@ -305,6 +298,7 @@ pub enum WalkCursor {
 
 impl WalkCursor {
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(u64, u32)> {
         match self {
             WalkCursor::Naive(a) => a.next().map(|s| (s.pa, s.iterations)),
@@ -372,13 +366,13 @@ pub struct KernelStream<'a> {
     pix: usize,
     echo: bool,
     /// Per-rpart prefix offsets into the PIM's C region (len = rparts + 1).
-    c_offsets: Vec<usize>,
+    c_offsets: Vec<u64>,
     /// Admissible (group, cpart, b_offset, b_len) cells in visit order.
-    cells: Vec<(usize, u32, usize, usize)>,
+    cells: Vec<(usize, u32, u64, u64)>,
     rpart: u32,
     stage: KernelStage,
-    /// Position within the current fill/drain slice.
-    slice_pos: usize,
+    /// Lazy cursor over the current fill/drain region slice.
+    fill: Option<RegionIter<'a>>,
     cell_ix: usize,
     walk: Option<WalkCursor>,
     last_row: usize,
@@ -397,21 +391,21 @@ impl<'a> KernelStream<'a> {
     ) -> Self {
         let pim = ctx.active_pims[pix];
         let mut c_offsets = Vec::with_capacity(ctx.plan.rparts as usize + 1);
-        let mut acc = 0usize;
+        let mut acc = 0u64;
         c_offsets.push(0);
         for rp in 0..ctx.plan.rparts as usize {
-            acc += ctx.c_blocks_by_rpart[pix][rp] as usize;
+            acc += ctx.c_blocks_by_rpart[pix][rp];
             c_offsets.push(acc);
         }
         let mut cells = Vec::new();
-        let mut b_acc = 0usize;
+        let mut b_acc = 0u64;
         let mut slice_ix = 0usize;
         for grp in 0..ctx.ga.n_groups() {
             if !ctx.ga.is_admissible(pim, grp) {
                 continue;
             }
             for cpart in 0..ctx.plan.cparts {
-                let len = ctx.b_slice_lens[pix][slice_ix] as usize;
+                let len = ctx.b_slice_lens[pix][slice_ix];
                 slice_ix += 1;
                 cells.push((grp, cpart, b_acc, len));
                 b_acc += len;
@@ -427,7 +421,7 @@ impl<'a> KernelStream<'a> {
             cells,
             rpart: 0,
             stage: KernelStage::Launch,
-            slice_pos: 0,
+            fill: None,
             cell_ix: 0,
             walk: None,
             last_row: usize::MAX,
@@ -443,11 +437,23 @@ impl<'a> KernelStream<'a> {
         self
     }
 
-    #[inline]
-    fn c_slice(&self) -> &'a [u64] {
+    /// Lazy cursor over this rpart's slice of the PIM's C region.
+    fn c_fill(&self) -> Option<RegionIter<'a>> {
+        if self.ctx.direct_scratchpad {
+            return None;
+        }
         let lo = self.c_offsets[self.rpart as usize];
         let hi = self.c_offsets[self.rpart as usize + 1];
-        &self.ctx.c_regions[self.pix][lo..hi]
+        Some(self.ctx.c_regions[self.pix].iter_range(lo, hi))
+    }
+
+    /// Lazy cursor over the current cell's slice of the PIM's B region.
+    fn cell_fill(&self) -> Option<RegionIter<'a>> {
+        if self.ctx.direct_scratchpad {
+            return None;
+        }
+        let &(_, _, b_off, b_len) = self.cells.get(self.cell_ix)?;
+        Some(self.ctx.b_regions[self.pix].iter_range(b_off, b_off + b_len))
     }
 }
 
@@ -462,39 +468,32 @@ impl Iterator for KernelStream<'_> {
             match self.stage {
                 KernelStage::Launch => {
                     self.stage = KernelStage::FillC;
-                    self.slice_pos = 0;
+                    self.fill = self.c_fill();
                     if !self.echo {
                         return Some(Step::Launch);
                     }
                 }
                 KernelStage::FillC => {
-                    if !self.ctx.direct_scratchpad {
-                        let slice = self.c_slice();
-                        if self.slice_pos < slice.len() {
-                            let pa = slice[self.slice_pos];
-                            self.slice_pos += 1;
-                            return Some(Step::Access {
-                                pa,
-                                write: false,
-                                cat: Phase::FillC,
-                                agen_iters: 1,
-                                compute: false,
-                            });
-                        }
+                    if let Some(pa) = self.fill.as_mut().and_then(|it| it.next()) {
+                        return Some(Step::Access {
+                            pa,
+                            write: false,
+                            cat: Phase::FillC,
+                            agen_iters: 1,
+                            compute: false,
+                        });
                     }
                     self.stage = KernelStage::FillB;
                     self.cell_ix = 0;
-                    self.slice_pos = 0;
+                    self.fill = self.cell_fill();
                 }
                 KernelStage::FillB => {
-                    let Some(&(grp, cpart, b_off, b_len)) = self.cells.get(self.cell_ix) else {
+                    let Some(&(grp, cpart, _, _)) = self.cells.get(self.cell_ix) else {
                         self.stage = KernelStage::DrainC;
-                        self.slice_pos = 0;
+                        self.fill = self.c_fill();
                         continue;
                     };
-                    if !self.ctx.direct_scratchpad && self.slice_pos < b_len {
-                        let pa = self.ctx.b_regions[self.pix][b_off + self.slice_pos];
-                        self.slice_pos += 1;
+                    if let Some(pa) = self.fill.as_mut().and_then(|it| it.next()) {
                         return Some(Step::Access {
                             pa,
                             write: false,
@@ -519,7 +518,7 @@ impl Iterator for KernelStream<'_> {
                     let Some((pa, iters)) = walk.next() else {
                         self.walk = None;
                         self.cell_ix += 1;
-                        self.slice_pos = 0;
+                        self.fill = self.cell_fill();
                         self.stage = KernelStage::FillB;
                         continue;
                     };
@@ -541,19 +540,14 @@ impl Iterator for KernelStream<'_> {
                     return Some(access);
                 }
                 KernelStage::DrainC => {
-                    if !self.ctx.direct_scratchpad {
-                        let slice = self.c_slice();
-                        if self.slice_pos < slice.len() {
-                            let pa = slice[self.slice_pos];
-                            self.slice_pos += 1;
-                            return Some(Step::Access {
-                                pa,
-                                write: true,
-                                cat: Phase::DrainC,
-                                agen_iters: 1,
-                                compute: false,
-                            });
-                        }
+                    if let Some(pa) = self.fill.as_mut().and_then(|it| it.next()) {
+                        return Some(Step::Access {
+                            pa,
+                            write: true,
+                            cat: Phase::DrainC,
+                            agen_iters: 1,
+                            compute: false,
+                        });
                     }
                     self.rpart += 1;
                     self.stage = if self.rpart < self.ctx.plan.rparts {
@@ -592,23 +586,22 @@ pub fn build_kernel_program_seed(
     KernelStream::new(ctx, sys, opts, pix).with_seed_agen().collect()
 }
 
-/// Lazily interleave per-PIM region lists in the Fig. 5 DMA engine's
+/// Lazily interleave per-PIM region cursors in the Fig. 5 DMA engine's
 /// round-robin order: depth-first across regions, one block per region per
 /// round, so consecutive writes hit different bank groups and stream at
-/// tCCDS instead of tCCDL.
+/// tCCDS instead of tCCDL. Regions are pulled lazily from their
+/// [`RegionPlan`]s — no address list is ever materialized.
 struct RegionInterleave<'a> {
-    regions: Vec<&'a [u64]>,
-    longest: usize,
-    depth: usize,
+    regions: Vec<RegionIter<'a>>,
     rix: usize,
+    yielded_this_round: bool,
     write: bool,
     cat: Phase,
 }
 
 impl<'a> RegionInterleave<'a> {
-    fn new(regions: Vec<&'a [u64]>, write: bool, cat: Phase) -> Self {
-        let longest = regions.iter().map(|r| r.len()).max().unwrap_or(0);
-        Self { regions, longest, depth: 0, rix: 0, write, cat }
+    fn new(regions: Vec<RegionIter<'a>>, write: bool, cat: Phase) -> Self {
+        Self { regions, rix: 0, yielded_this_round: false, write, cat }
     }
 }
 
@@ -617,17 +610,17 @@ impl Iterator for RegionInterleave<'_> {
 
     fn next(&mut self) -> Option<Step> {
         loop {
-            if self.depth >= self.longest {
-                return None;
-            }
             if self.rix >= self.regions.len() {
+                if !self.yielded_this_round {
+                    return None;
+                }
                 self.rix = 0;
-                self.depth += 1;
-                continue;
+                self.yielded_this_round = false;
             }
-            let r = self.regions[self.rix];
+            let it = &mut self.regions[self.rix];
             self.rix += 1;
-            if let Some(&pa) = r.get(self.depth) {
+            if let Some(pa) = it.next() {
+                self.yielded_this_round = true;
                 return Some(Step::Access {
                     pa,
                     write: self.write,
@@ -641,10 +634,10 @@ impl Iterator for RegionInterleave<'_> {
 }
 
 /// Build DMA transfer cursors (one per channel) over the given per-PIM
-/// region lists.
+/// region plans.
 pub(crate) fn transfer_cursors<'a>(
     ctx: &'a GemmContext,
-    regions: &'a [Vec<u64>],
+    regions: &'a [RegionPlan],
     write: bool,
     cat: Phase,
     start: u64,
@@ -653,12 +646,12 @@ pub(crate) fn transfer_cursors<'a>(
     let channels = ctx.mapping.geometry().channels;
     (0..channels)
         .map(|ch| {
-            let mine: Vec<&[u64]> = ctx
+            let mine: Vec<RegionIter<'a>> = ctx
                 .active_pims
                 .iter()
                 .enumerate()
                 .filter(|(_, &pim)| ctx.pim_channel(pim) == ch)
-                .map(|(pix, _)| regions[pix].as_slice())
+                .map(|(pix, _)| regions[pix].iter())
                 .collect();
             let steps = RegionInterleave::new(mine, write, cat);
             UnitCursor::transfer("dma", ch, Port::Channel, steps, start, gap)
@@ -709,14 +702,15 @@ pub fn simulate_pow2_gemm_exec(
     // Phase 1: localization (B replication; source is CPU-cached, §IV).
     let mut loc =
         transfer_cursors(&ctx, &ctx.b_regions, true, Phase::Localization, 0, loc_mode.inter_block_gap());
-    let loc_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut());
+    let loc_end =
+        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Localization, loc_end);
 
     // Phase 2: the PIM kernels.
     let remap = subset_remap(&ctx, sys, opts);
     let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
         .map(|pix| {
-            let steps: Box<dyn Iterator<Item = Step>> = match mode {
+            let steps: Box<dyn Iterator<Item = Step> + Send> = match mode {
                 ExecMode::Streaming => Box::new(KernelStream::new(&ctx, sys, opts, pix)),
                 ExecMode::Materialized => {
                     Box::new(build_kernel_program_for(&ctx, sys, opts, pix).into_iter())
@@ -744,7 +738,8 @@ pub fn simulate_pow2_gemm_exec(
             )
         })
         .collect();
-    let kernel_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut());
+    let kernel_end =
+        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
 
     // Attribute kernel categories: the critical-path (max) PIM per category.
     let mut activity = ActivityCounts::default();
@@ -772,7 +767,8 @@ pub fn simulate_pow2_gemm_exec(
         kernel_end,
         loc_mode.inter_block_gap(),
     );
-    let red_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut());
+    let red_end =
+        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Reduction, red_end - kernel_end);
 
     report.total = red_end;
@@ -914,7 +910,7 @@ mod tests {
         // Cycle-exactness at command granularity: run the kernel phase with
         // streaming and with materialized programs against traced timing
         // states; every issued DRAM command must match in time and place.
-        use crate::engine::Step;
+        use crate::engine::{run_phase, Step};
         use stepstone_dram::{CommandBus, TimingState};
         let s = sys();
         let spec = GemmSpec::new(256, 1024, 2);
@@ -927,7 +923,7 @@ mod tests {
                 let mut bus = CommandBus::new(s.dram.geom.channels as usize);
                 let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
                     .map(|pix| {
-                        let steps: Box<dyn Iterator<Item = Step>> = if materialize {
+                        let steps: Box<dyn Iterator<Item = Step> + Send> = if materialize {
                             Box::new(build_kernel_program_for(&ctx, &s, &opts, pix).into_iter())
                         } else {
                             Box::new(KernelStream::new(&ctx, &s, &opts, pix))

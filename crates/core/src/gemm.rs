@@ -71,10 +71,17 @@ impl GemmSpec {
             }
             parts
         };
-        // Very small tail parts would under-fill a cache-block row; round
-        // them up to 16 elements (one block of f32), i.e. pad.
+        // Very small tail parts would under-fill a cache-block row. Merge
+        // all sub-16 binary parts into a *single* padded 16-element part
+        // (one block of f32): rounding each up independently (m=7 →
+        // [4,2,1] → [16,16,16]) would triple the padded work and
+        // double-count blocks in the cross product.
         let clamp = |parts: Vec<usize>| -> Vec<usize> {
-            parts.into_iter().map(|p| p.max(16)).collect()
+            let mut out: Vec<usize> = parts.iter().copied().filter(|&p| p >= 16).collect();
+            if out.len() < parts.len() {
+                out.push(16);
+            }
+            out
         };
         let ms = clamp(split(self.m));
         let ks = clamp(split(self.k));
@@ -115,6 +122,39 @@ mod tests {
         assert_eq!(macs, g.macs());
         // 1600 = 1024 + 512 + 64; 6400 = 4096 + 2048 + 256.
         assert_eq!(parts.len(), 9);
+    }
+
+    #[test]
+    fn sub_16_tails_merge_into_one_padded_part() {
+        // m = 7 → binary parts [4, 2, 1]: one padded 16 part, not three
+        // (independent rounding tripled the padded work).
+        let g = GemmSpec::new(7, 2048, 4);
+        assert_eq!(g.decompose_pow2(), vec![GemmSpec::new(16, 2048, 4)]);
+        // m = 23 = 16 + 4 + 2 + 1 → [16, 16]; k = 100 = 64 + 32 + 4 →
+        // [64, 32, 16].
+        let g = GemmSpec::new(23, 100, 2);
+        let parts = g.decompose_pow2();
+        assert_eq!(parts.len(), 6);
+        let padded: u64 = parts.iter().map(|p| p.macs()).sum();
+        assert_eq!(padded, 32 * 112 * 2, "Σm=32, Σk=112");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn decomposition_work_is_minimally_padded(m in 1usize..3000, k in 1usize..3000) {
+            // Work preservation under padding: the decomposition covers
+            // exactly the block-row-padded matrix — each dimension rounds
+            // up to the next multiple of 16 *once*, never per tail part.
+            let g = GemmSpec::new(m | 1, k | 1, 3); // odd dims stress tails
+            let parts = g.decompose_pow2();
+            proptest::prop_assert!(parts.iter().all(|p| p.is_pow2() && p.m >= 16 && p.k >= 16));
+            let padded_m = (g.m.div_ceil(16) * 16) as u64;
+            let padded_k = (g.k.div_ceil(16) * 16) as u64;
+            let macs: u64 = parts.iter().map(|p| p.macs()).sum();
+            proptest::prop_assert_eq!(macs, padded_m * padded_k * g.n as u64);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::config::SystemConfig;
 use crate::cpu::CpuModel;
-use crate::engine::{run_phase, TrafficCursor, UnitCursor};
+use crate::engine::{run_phase_auto, TrafficCursor, UnitCursor};
 use crate::flow::{transfer_cursors, GemmContext, KernelStream, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
@@ -103,8 +103,14 @@ pub fn simulate_gemm_fused(
         0,
         loc_mode.inter_block_gap(),
     );
-    let mut loc_done =
-        run_phase(&mut ts, &mut bus, &ctxs[0].mapping, &mut loc0, tcur.as_mut());
+    let mut loc_done = run_phase_auto(
+        &mut ts,
+        &mut bus,
+        &ctxs[0].mapping,
+        &mut loc0,
+        tcur.as_mut(),
+        sys.parallel,
+    );
     report.add_phase(Phase::Localization, loc_done);
 
     let mut activity = ActivityCounts::default();
@@ -141,22 +147,30 @@ pub fn simulate_gemm_fused(
                 loc_mode.inter_block_gap(),
             ));
         }
-        run_phase(&mut ts, &mut bus, &ctx.mapping, &mut cursors, tcur.as_mut());
+        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut cursors, tcur.as_mut(), sys.parallel);
         kernel_end = cursors[..n_kernels].iter().map(|u| u.end_time).max().unwrap_or(start);
         if n_kernels < cursors.len() {
             loc_done = cursors[n_kernels..].iter().map(|u| u.end_time).max().unwrap_or(loc_done);
         }
         kernel_ready = loc_done;
+        // Attribution matches `LatencyReport::chain` semantics: take the
+        // critical-path (max) PIM per category *within* this sub-GEMM round,
+        // then sum across the sequential rounds.
+        let mut round_max = [0u64; 8];
         for u in &cursors[..n_kernels] {
-            for p in [Phase::Gemm, Phase::FillB, Phase::FillC, Phase::DrainC] {
+            for p in [Phase::Gemm, Phase::FillB, Phase::FillC, Phase::DrainC, Phase::Launch] {
                 let ix = p.index();
-                report.phase_cycles[ix] = report.phase_cycles[ix].max(u.cat_cycles[ix]);
+                round_max[ix] = round_max[ix].max(u.cat_cycles[ix]);
             }
             activity.simd_ops += u.simd_ops;
             activity.scratchpad_accesses += u.scratch_accesses;
             activity.launches += u.launches;
             activity.agen_iterations += u.agen_iter_sum;
+            activity.agen_max_step = activity.agen_max_step.max(u.agen_iter_max);
             activity.agen_bubbles += u.agen_bubbles;
+        }
+        for (ix, &cycles) in round_max.iter().enumerate() {
+            report.phase_cycles[ix] += cycles;
         }
     }
 
@@ -171,7 +185,8 @@ pub fn simulate_gemm_fused(
             red_end,
             loc_mode.inter_block_gap(),
         );
-        red_end = run_phase(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut());
+        red_end =
+            run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     }
     report.add_phase(Phase::Reduction, red_end - kernel_end);
     report.total = red_end;
@@ -230,6 +245,32 @@ mod tests {
         let fused = simulate_gemm_fused(&sys, &spec, &opts, None).total;
         assert!(fused < serial, "fused={fused} serial={serial}");
         assert!(fused * 3 > serial, "fusion cannot be a 3x miracle");
+    }
+
+    #[test]
+    fn fused_attribution_matches_chained_on_multi_sub_gemm() {
+        // m = 1536 → two sub-GEMMs (1024 + 512 rows). Fused attribution
+        // must take the per-round critical path and *sum* across rounds
+        // (`LatencyReport::chain` semantics); the old running max across
+        // rounds under-reported Gemm cycles by the smaller round's share.
+        let sys = SystemConfig::default();
+        let spec = GemmSpec::new(1536, 1024, 4);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let chained = simulate_gemm_opt(&sys, &spec, &opts, None);
+        let fused = simulate_gemm_fused(&sys, &spec, &opts, None);
+        // Identical kernel work ⇒ identical activity tallies, and the
+        // fused path must not drop the AGEN max-step statistic.
+        assert_eq!(fused.activity.simd_ops, chained.activity.simd_ops);
+        assert_eq!(fused.activity.launches, chained.activity.launches);
+        assert_eq!(fused.activity.scratchpad_accesses, chained.activity.scratchpad_accesses);
+        assert_eq!(fused.activity.agen_max_step, chained.activity.agen_max_step);
+        assert!(fused.activity.agen_max_step > 0, "agen_max_step dropped in fused merge");
+        // Gemm cycles: the fused rounds run the same kernels, so the
+        // summed attribution lands near the chained report — far above the
+        // buggy max-across-rounds (≈ 2/3 of chained for a 2:1 round split).
+        let f = fused.phase(Phase::Gemm) as f64;
+        let c = chained.phase(Phase::Gemm) as f64;
+        assert!(f / c > 0.9 && f / c < 1.1, "fused gemm {f} vs chained {c}");
     }
 
     #[test]

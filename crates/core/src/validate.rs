@@ -68,7 +68,7 @@ pub fn validate_gemm(
                     }
                     // 16·n f32 = n cache blocks.
                     for (blk, chunk) in panel.chunks(16).enumerate() {
-                        let pa = ctx.b_regions[pix][cursor + blk];
+                        let pa = ctx.b_regions[pix].get((cursor + blk) as u64);
                         let mut vals = [0f32; 16];
                         vals[..chunk.len()].copy_from_slice(chunk);
                         mem.write_block_f32(pa, &vals);
@@ -77,7 +77,7 @@ pub fn validate_gemm(
                 }
             }
         }
-        assert_eq!(cursor, ctx.b_regions[pix].len(), "region exactly consumed");
+        assert_eq!(cursor as u64, ctx.b_regions[pix].len(), "region exactly consumed");
     }
 
     // Kernel: every PIM walks its schedule, reading A from simulated memory
@@ -118,13 +118,19 @@ pub fn validate_gemm(
                         let acc = partial.entry(row).or_insert_with(|| vec![0f32; n]);
                         for (e, &av) in a_vals.iter().enumerate() {
                             // Read the e-th B row of the panel from the
-                            // localized region blocks.
+                            // localized region blocks, one block (16
+                            // elements) at a time.
                             let flat = e * n;
-                            for j in 0..n {
+                            let mut j = 0;
+                            while j < n {
                                 let idx = flat + j;
-                                let pa_b = ctx.b_regions[pix][panel_ix + idx / 16];
+                                let pa_b = ctx.b_regions[pix].get((panel_ix + idx / 16) as u64);
                                 let vals = mem.read_block_f32(pa_b);
-                                acc[j] += av * vals[idx % 16];
+                                let run = (16 - idx % 16).min(n - j);
+                                for t in 0..run {
+                                    acc[j + t] += av * vals[idx % 16 + t];
+                                }
+                                j += run;
                             }
                         }
                     }
@@ -142,12 +148,12 @@ pub fn validate_gemm(
         for (blk, chunk) in flat.chunks(16).enumerate() {
             let mut vals = [0f32; 16];
             vals[..chunk.len()].copy_from_slice(chunk);
-            mem.write_block_f32(ctx.c_regions[pix][blk], &vals);
+            mem.write_block_f32(ctx.c_regions[pix].get(blk as u64), &vals);
         }
         // Reduction pass.
         let mut read_back = Vec::with_capacity(flat.len());
         for blk in 0..flat.len().div_ceil(16) {
-            read_back.extend_from_slice(&mem.read_block_f32(ctx.c_regions[pix][blk]));
+            read_back.extend_from_slice(&mem.read_block_f32(ctx.c_regions[pix].get(blk as u64)));
         }
         for (i, &r) in rows.iter().enumerate() {
             for j in 0..n {

@@ -49,6 +49,14 @@ impl CommandBus {
         t.max(self.next_free[channel])
     }
 
+    /// Adopt `channel`'s slot state from `other` (a clone of `self`
+    /// advanced independently). Slots are per-channel, so per-channel
+    /// simulation followed by adoption is exact.
+    pub fn adopt_channel(&mut self, other: &CommandBus, channel: usize) {
+        self.next_free[channel] = other.next_free[channel];
+        self.slots_used[channel] = other.slots_used[channel];
+    }
+
     /// Utilization of a channel's command bus over `[0, horizon)`.
     pub fn utilization(&self, channel: usize, horizon: u64) -> f64 {
         if horizon == 0 {

@@ -221,6 +221,41 @@ impl TimingState {
         self.trace.take()
     }
 
+    /// Whether command tracing is active (parallel phase execution must
+    /// fall back to the serial engine to keep the trace time-ordered).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Adopt channel `ch`'s bank, rank, and path state from `other` (a
+    /// clone of `self` advanced independently). Channels share no timing
+    /// state — banks, ranks, and all three path kinds are channel-major —
+    /// so per-channel simulation followed by adoption is exact. Statistics
+    /// are *not* adopted; merge [`TimingState::stats`] separately.
+    pub fn adopt_channel(&mut self, other: &TimingState, ch: u32) {
+        let g = self.cfg.geom;
+        assert_eq!(g, other.cfg.geom, "adopt_channel requires identical geometry");
+        let ch = ch as usize;
+        let banks_per_ch =
+            (g.ranks_per_channel * g.bankgroups_per_rank * g.banks_per_bankgroup) as usize;
+        let b0 = ch * banks_per_ch;
+        self.banks[b0..b0 + banks_per_ch].copy_from_slice(&other.banks[b0..b0 + banks_per_ch]);
+        let ranks_per_ch = g.ranks_per_channel as usize;
+        let r0 = ch * ranks_per_ch;
+        self.ranks[r0..r0 + ranks_per_ch].clone_from_slice(&other.ranks[r0..r0 + ranks_per_ch]);
+        // Path layout: [channels] channel paths, [channels×ranks]
+        // rank-internal paths, [channels×ranks×bgs] BG-internal paths.
+        self.paths[ch] = other.paths[ch].clone();
+        let nch = g.channels as usize;
+        let nrk = (g.channels * g.ranks_per_channel) as usize;
+        self.paths[nch + r0..nch + r0 + ranks_per_ch]
+            .clone_from_slice(&other.paths[nch + r0..nch + r0 + ranks_per_ch]);
+        let bgs_per_ch = (g.ranks_per_channel * g.bankgroups_per_rank) as usize;
+        let bg0 = ch * bgs_per_ch;
+        self.paths[nch + nrk + bg0..nch + nrk + bg0 + bgs_per_ch]
+            .clone_from_slice(&other.paths[nch + nrk + bg0..nch + nrk + bg0 + bgs_per_ch]);
+    }
+
     fn record(&mut self, time: u64, kind: CmdKind, coord: DramCoord, port: Port) {
         if let Some(t) = &mut self.trace {
             t.push(CmdRecord { time, kind, coord, port });
@@ -598,8 +633,7 @@ mod tests {
 
     #[test]
     fn refresh_blocks_the_rank_when_enabled() {
-        let mut cfg = DramConfig::default();
-        cfg.refresh = true;
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
         let mut ts = TimingState::new(cfg);
         let c = coord(0, 0, 0, 0, 0, 0);
         ts.access(c, CasKind::Read, Port::Channel, 0);

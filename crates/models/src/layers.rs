@@ -94,21 +94,18 @@ fn transformer_block(hidden: usize, ff: usize, heads: usize, seq: usize, bsz: us
 /// §V-B: "The execution time of DLRM is dominated by a single FC layer
 /// (92%)" — the 2560×512 bottom GEMM.
 pub fn dlrm(bsz: usize) -> ModelGraph {
-    let mut ops = Vec::new();
-    // Sparse embedding lookups + dense feature handling (CPU).
-    ops.push(Op::CpuOp {
-        name: "embedding",
-        bytes: (80 * 64 * bsz) as u64,
-        flops: 0,
-    });
-    // Bottom MLP.
-    ops.push(Op::Gemm(GemmSpec::new(2560, 512, bsz)));
-    ops.push(Op::Gemm(GemmSpec::new(512, 32, bsz)));
-    // Feature interaction (concat + small dot products).
-    ops.push(Op::reorg((512 * bsz * 4) as u64));
-    // Top MLP.
-    ops.push(Op::Gemm(GemmSpec::new(512, 128, bsz)));
-    ops.push(Op::Gemm(GemmSpec::new(128, 16, bsz)));
+    let ops = vec![
+        // Sparse embedding lookups + dense feature handling (CPU).
+        Op::CpuOp { name: "embedding", bytes: (80 * 64 * bsz) as u64, flops: 0 },
+        // Bottom MLP.
+        Op::Gemm(GemmSpec::new(2560, 512, bsz)),
+        Op::Gemm(GemmSpec::new(512, 32, bsz)),
+        // Feature interaction (concat + small dot products).
+        Op::reorg((512 * bsz * 4) as u64),
+        // Top MLP.
+        Op::Gemm(GemmSpec::new(512, 128, bsz)),
+        Op::Gemm(GemmSpec::new(128, 16, bsz)),
+    ];
     ModelGraph { name: "DLRM", ops }
 }
 

@@ -7,6 +7,13 @@ build:
 test:
     cargo test --workspace -q
 
+clippy:
+    cargo clippy --workspace --all-targets -q -- -D warnings
+
+# Build + test + clippy + bench-smoke (the merge gate).
+ci:
+    make ci
+
 # Build release, run the hot-path bench on a small config, validate
 # BENCH_sim.json.
 bench-smoke:
