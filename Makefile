@@ -16,23 +16,35 @@ clippy:
 ci: build test clippy bench-smoke
 	@echo "ci: all gates green"
 
-# Build release, run the simulator hot-path bench on a small config, and
-# fail if BENCH_sim.json is missing or malformed.
+# Build release and run the simulator hot-path bench at the *paper scale*
+# (the shape the committed BENCH_sim.json records; ~11 s) in a scratch
+# directory, so the committed evidence file is never clobbered. Fails if
+# the result is missing, malformed, not cycle-exact, or if
+# speedup_streaming_vs_seed regresses below the committed value (15%
+# tolerance: the wall-clock ratio varies run to run on shared/noisy
+# hosts; observed spread on the evaluation container is ~3.4-4.2x).
 bench-smoke:
 	cargo build --release -p stepstone-bench --bin bench_sim
-	rm -f BENCH_sim.json
-	./target/release/bench_sim --quick
-	@test -s BENCH_sim.json || { echo "bench-smoke: BENCH_sim.json missing"; exit 1; }
-	@python3 -c "import json,sys; d=json.load(open('BENCH_sim.json')); \
+	rm -rf target/bench-smoke && mkdir -p target/bench-smoke
+	cd target/bench-smoke && ../../target/release/bench_sim
+	@test -s target/bench-smoke/BENCH_sim.json || { echo "bench-smoke: BENCH_sim.json missing"; exit 1; }
+	@python3 -c "import json,sys; d=json.load(open('target/bench-smoke/BENCH_sim.json')); \
+c=json.load(open('BENCH_sim.json')); \
 assert d['bench']=='sim_hot_path', 'bad bench id'; \
 assert d['cycle_exact'] is True, 'modes disagree'; \
+assert c['cycle_exact'] is True, 'committed BENCH_sim.json not cycle-exact'; \
+assert all(d['config'][x]==c['config'][x] for x in ('m','k','n','level','pims')), \
+'smoke shape differs from committed shape'; \
 assert len(d['runs'])==3 and all(r['blocks']>0 and r['wall_ns']>0 for r in d['runs']), 'bad runs'; \
 assert {r['mode'] for r in d['runs']} == {'streaming','streaming-serial','seed-replay'}, 'bad modes'; \
 ra=d['region_addrs']; \
 assert ra['materialized']>0 and ra['resident']>0 and ra['drop']>=1.0, 'region plans regressed'; \
-assert d['speedup_streaming_vs_seed']>0 and d['speedup_parallel_vs_serial']>0, 'bad speedups'; \
-print('bench-smoke: BENCH_sim.json ok (seed %.2fx, parallel %.2fx, region drop %.0fx)' \
-% (d['speedup_streaming_vs_seed'], d['speedup_parallel_vs_serial'], ra['drop']))"
+floor=0.85*c['speedup_streaming_vs_seed']; \
+assert d['speedup_streaming_vs_seed']>=floor, \
+'speedup_streaming_vs_seed %.2fx regressed below committed floor %.2fx' \
+% (d['speedup_streaming_vs_seed'], floor); \
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx)' \
+% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop']))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

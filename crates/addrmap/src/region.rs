@@ -25,6 +25,12 @@
 
 use crate::agen::{satisfies, ParityConstraint, StepStoneAgen};
 use crate::geometry::{BLOCK_BYTES, BLOCK_SHIFT};
+use std::sync::OnceLock;
+
+/// Largest pattern for which [`RegionPlan`] builds the per-period offset
+/// table (16 Ki offsets = 128 KiB). Above this, cursors fall back to the
+/// per-run rank/select descent.
+const PERIOD_CACHE_CAP: u64 = 1 << 14;
 
 /// Succinct rank/select representation of one carved region: the first
 /// `len` satisfying block addresses at or above an arena base, in
@@ -61,6 +67,12 @@ pub struct RegionPlan {
     /// `u64::MAX` when unconstrained (one unbounded run).
     run_bytes: u64,
     len: u64,
+    /// Lazily built offset table for the hot path: the satisfying set is
+    /// periodic, so `select(m) = (m / per_period) · period +
+    /// offsets[m % per_period]` — one descent per *residue*, ever, instead
+    /// of one per run. Built on first use when `per_period ≤
+    /// PERIOD_CACHE_CAP` and shared by every cursor of the plan.
+    period_offsets: OnceLock<Vec<u64>>,
 }
 
 impl RegionPlan {
@@ -150,6 +162,7 @@ impl RegionPlan {
             base_rank: 0,
             arena,
             len: count,
+            period_offsets: OnceLock::new(),
         };
         plan.base_rank = plan.rank(arena);
         plan
@@ -172,6 +185,19 @@ impl RegionPlan {
             + self.pbits.len() as u64
             + self.deltas.len() as u64
             + self.cs.len() as u64
+            + self.period_offsets.get().map_or(0, |v| v.len() as u64)
+    }
+
+    /// The per-residue offset table (see `period_offsets`), or `None` when
+    /// the pattern is too large to cache.
+    fn offsets(&self) -> Option<&[u64]> {
+        if self.per_period == 0 || self.per_period > PERIOD_CACHE_CAP {
+            return None;
+        }
+        Some(
+            self.period_offsets
+                .get_or_init(|| (0..self.per_period).map(|r| self.select(r)).collect()),
+        )
     }
 
     /// Satisfying blocks with address strictly below `x`.
@@ -293,7 +319,16 @@ impl Iterator for RegionIter<'_> {
         }
         let addr = match self.next_addr.take() {
             Some(a) => a,
-            None => self.plan.select(self.plan.base_rank + self.ix),
+            None => {
+                let m = self.plan.base_rank + self.ix;
+                match self.plan.offsets() {
+                    Some(offs) => {
+                        (m / self.plan.per_period) * self.plan.period
+                            + offs[(m % self.plan.per_period) as usize]
+                    }
+                    None => self.plan.select(m),
+                }
+            }
         };
         self.ix += 1;
         if self.ix < self.end {

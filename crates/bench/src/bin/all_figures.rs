@@ -19,6 +19,7 @@ fn main() {
     figures::fig12::run(scale).emit();
     figures::fig13::run(scale).emit();
     figures::fig14::run(scale).emit();
+    figures::crossover::run(scale).emit();
     figures::ablations::run(scale).emit();
     println!("all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,4 @@
+fn main() {
+    let scale = stepstone_bench::Scale::from_env();
+    stepstone_bench::figures::crossover::run(scale).emit();
+}

@@ -61,13 +61,18 @@ pub fn run(scale: Scale) -> FigureResult {
 
     // (b) Localization/reduction acceleration.
     let mut t = Table::new(vec!["copies by", "total cycles"]);
-    for (name, mode) in [
+    let loc_rows: Vec<(&str, u64)> = [
         ("PIM-controller DMA", LocalizationMode::AcceleratedDma),
         ("host (CPU loads/stores)", LocalizationMode::HostMediated { gap_cycles: 4 }),
-    ] {
+    ]
+    .into_par_iter()
+    .map(|(name, mode)| {
         let sys = baseline_system().with_localization(mode);
-        let r = simulate_gemm(&sys, &GemmSpec::new(m, k, 16), PimLevel::BankGroup);
-        t.row(vec![name.to_string(), r.total.to_string()]);
+        (name, simulate_gemm(&sys, &GemmSpec::new(m, k, 16), PimLevel::BankGroup).total)
+    })
+    .collect();
+    for (name, total) in loc_rows {
+        t.row(vec![name.to_string(), total.to_string()]);
     }
     fig.table("(b) accelerated vs host-mediated localization (BG, N=16)", t);
     fig.note("paper: accelerating localization/reduction buys up to an additional 40%");
@@ -94,19 +99,29 @@ pub fn run(scale: Scale) -> FigureResult {
     }
     fig.table("(c) launch packet size sensitivity (eCHO under traffic)", t);
 
-    // (d) subset benefit vs batch.
+    // (d) subset benefit vs batch — each (N, subset) point independent.
     let mut t = Table::new(vec!["N", "all PIMs", "half PIMs", "half/all"]);
-    for n in [4usize, 16, 32] {
-        let sys = baseline_system();
-        let spec = GemmSpec::new(512, 2048, n);
-        let full = simulate_gemm(&sys, &spec, PimLevel::BankGroup).total;
-        let half = simulate_gemm_opt(
-            &sys,
-            &spec,
-            &SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
-            None,
-        )
-        .total;
+    let subset_rows: Vec<(usize, u64, u64)> = [4usize, 16, 32]
+        .into_par_iter()
+        .map(|n| {
+            let sys = baseline_system();
+            let spec = GemmSpec::new(512, 2048, n);
+            let (full, half) = rayon::join(
+                || simulate_gemm(&sys, &spec, PimLevel::BankGroup).total,
+                || {
+                    simulate_gemm_opt(
+                        &sys,
+                        &spec,
+                        &SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
+                        None,
+                    )
+                    .total
+                },
+            );
+            (n, full, half)
+        })
+        .collect();
+    for (n, full, half) in subset_rows {
         t.row(vec![
             n.to_string(),
             full.to_string(),
@@ -116,14 +131,19 @@ pub fn run(scale: Scale) -> FigureResult {
     }
     fig.table("(d) PIM-subset benefit on a small matrix (512x2048)", t);
 
-    // (e) fused vs serialized non-power-of-two execution (§III-E).
+    // (e) fused vs serialized non-power-of-two execution (§III-E); the two
+    // strategies simulate concurrently, and each one's phases shard over
+    // channels inside `run_phase_auto`.
     let mut t = Table::new(vec!["non-pow2 strategy", "total cycles"]);
     let spec = GemmSpec::new(1600, 6400, 4);
     let opts = SimOptions::stepstone(PimLevel::BankGroup);
-    let serial = simulate_gemm_opt(&baseline_system(), &spec, &opts, None).total;
-    let fused =
-        stepstone_core::serving::simulate_gemm_fused(&baseline_system(), &spec, &opts, None)
-            .total;
+    let (serial, fused) = rayon::join(
+        || simulate_gemm_opt(&baseline_system(), &spec, &opts, None).total,
+        || {
+            stepstone_core::serving::simulate_gemm_fused(&baseline_system(), &spec, &opts, None)
+                .total
+        },
+    );
     t.row(vec!["serialized sub-GEMMs".to_string(), serial.to_string()]);
     t.row(vec!["fused (loc. pipelined)".to_string(), fused.to_string()]);
     fig.table("(e) fused kernels for GPT2's 1600x6400 MLP", t);
@@ -135,11 +155,16 @@ pub fn run(scale: Scale) -> FigureResult {
     // (f) refresh interference (the paper reports refresh-free numbers; the
     // simulator supports DDR4 all-bank refresh for sensitivity checks).
     let mut t = Table::new(vec!["refresh", "total cycles"]);
-    for on in [false, true] {
-        let mut sys = baseline_system();
-        sys.dram.refresh = on;
-        let r = simulate_gemm(&sys, &GemmSpec::new(m, k, 4), PimLevel::BankGroup);
-        t.row(vec![if on { "on (tREFI/tRFC)" } else { "off" }.to_string(), r.total.to_string()]);
+    let refresh_rows: Vec<(bool, u64)> = [false, true]
+        .into_par_iter()
+        .map(|on| {
+            let mut sys = baseline_system();
+            sys.dram.refresh = on;
+            (on, simulate_gemm(&sys, &GemmSpec::new(m, k, 4), PimLevel::BankGroup).total)
+        })
+        .collect();
+    for (on, total) in refresh_rows {
+        t.row(vec![if on { "on (tREFI/tRFC)" } else { "off" }.to_string(), total.to_string()]);
     }
     fig.table("(f) DDR4 refresh sensitivity (BG, N=4)", t);
     fig

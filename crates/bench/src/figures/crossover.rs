@@ -1,0 +1,59 @@
+//! §V-B serving-time crossover: the batch size at which a CPU overtakes
+//! split-batch PIM execution ("Even with somewhat larger batches (e.g., up
+//! to N = 384 for BERT), StepStone PIM outperforms the CPU by splitting a
+//! batch into several batch-32 GEMM operations"). Sweeps BERT-class layer
+//! shapes per PIM level; a dash marks "no crossover within the 16 Ki-sample
+//! search cap" — distinguishable, post-bugfix, from a crossover *at* the
+//! cap.
+
+use crate::figures::baseline_system;
+use crate::output::{FigureResult, Scale, Table};
+use rayon::prelude::*;
+use stepstone_addr::PimLevel;
+use stepstone_core::{cpu_crossover_batch, split_batch_cycles, PIM_CHUNK_BATCH};
+
+pub fn run(scale: Scale) -> FigureResult {
+    let matrices: &[(usize, usize)] = match scale {
+        Scale::Full => &[(1024, 4096), (4096, 1024), (1024, 1024), (512, 2048)],
+        Scale::Quick => &[(512, 2048)],
+    };
+    let levels = [PimLevel::BankGroup, PimLevel::Device, PimLevel::Channel];
+    let mut fig = FigureResult::new(
+        "crossover",
+        "CPU-overtakes-PIM batch size under batch-32 splitting (paper: N=384 for BERT)",
+    );
+    let mut t = Table::new(vec![
+        "level", "matrix", "crossover N", "PIM cyc @ N-8 (split)", "chunks @ N-8",
+    ]);
+    let jobs: Vec<(PimLevel, (usize, usize))> = levels
+        .iter()
+        .flat_map(|&l| matrices.iter().map(move |&mk| (l, mk)))
+        .collect();
+    let rows: Vec<_> = jobs
+        .into_par_iter()
+        .map(|(level, (m, k))| {
+            let sys = baseline_system();
+            let crossover = cpu_crossover_batch(&sys, m, k, level);
+            // Cost the batch just below the crossover with a partial tail
+            // chunk, exercising the real split-batch cost model.
+            let probe_n = crossover.unwrap_or(PIM_CHUNK_BATCH * 4).saturating_sub(8).max(8);
+            let pim = split_batch_cycles(&sys, m, k, probe_n, level);
+            (level, (m, k), crossover, probe_n, pim)
+        })
+        .collect();
+    for (level, (m, k), crossover, probe_n, pim) in rows {
+        t.row(vec![
+            level.tag().to_string(),
+            format!("{m}x{k}"),
+            crossover.map_or("- (none <= 16Ki)".to_string(), |n| n.to_string()),
+            format!("{pim} @ N={probe_n}"),
+            format!("{} full + {} tail", probe_n / PIM_CHUNK_BATCH, probe_n % PIM_CHUNK_BATCH),
+        ]);
+    }
+    fig.table("split-batch crossover", t);
+    fig.note(
+        "structure check: crossover ~ per-chunk-speedup x 32 (paper derives 384 = 12 x 32); \
+         partial tails are costed at their real size, not rounded up to full chunks",
+    );
+    fig
+}

@@ -2,6 +2,7 @@
 //! `run(scale) -> FigureResult`; the `src/bin/` wrappers print and save.
 
 pub mod ablations;
+pub mod crossover;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -70,6 +70,11 @@ struct WinEntry {
     cat: Phase,
     compute: bool,
     gen_ready: u64,
+    /// Same-run identity: (bank index, row, direction). When every window
+    /// entry shares one key, the FR-FCFS selection is trivially the front
+    /// entry (probe times are nondecreasing along the window) and the span
+    /// fast path applies.
+    key: u64,
 }
 
 /// Execution state of one unit.
@@ -115,6 +120,14 @@ pub struct UnitCursor<'a> {
     /// Extra spacing between blocks for host-mediated transfer streams.
     host_gap: u64,
     subset: Option<SubsetRemap>,
+    /// The unit's accesses are confined to a bank partition and datapath no
+    /// other unit in the phase touches (kernel PIMs: each owns its bank
+    /// group / rank / channel by construction). Steady-state CAS runs of
+    /// such units commit only unit-private timing state, so the scheduler
+    /// may let them stream past other units' turns (see
+    /// [`UnitCursor::advance_batch`]). Transfer cursors and anything that
+    /// roams across bank partitions must leave this false.
+    pub exclusive: bool,
     // Statistics.
     pub launches: u64,
     pub simd_ops: u64,
@@ -167,6 +180,7 @@ impl<'a> UnitCursor<'a> {
             burst_window,
             host_gap: 0,
             subset,
+            exclusive: false,
             launches: 0,
             simd_ops: 0,
             scratch_accesses: 0,
@@ -223,12 +237,16 @@ impl<'a> UnitCursor<'a> {
                         "unit '{}' issued a cross-channel access (pa {pa:#x})",
                         self.label
                     );
+                    let key = (coord.bank_index(mapping.geometry()) as u64) << 33
+                        | (coord.row as u64) << 1
+                        | write as u64;
                     self.window.push_back(WinEntry {
                         coord,
                         write,
                         cat,
                         compute,
                         gen_ready: self.gen_clock,
+                        key,
                     });
                 }
                 _ => break,
@@ -252,6 +270,22 @@ impl<'a> UnitCursor<'a> {
 
     /// Execute the next step.
     pub fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
+        self.advance_impl(ts, bus, mapping, false)
+    }
+
+    /// `allow_front` (set by the scheduler when no colocated traffic,
+    /// refresh, or trace is active) permits skipping the FR-FCFS probe scan
+    /// when the front entry provably wins (see
+    /// [`UnitCursor::window_scope_uniform`]; additionally requires the
+    /// front to be a row *hit* — a row-conflict front can legitimately lose
+    /// to a later entry whose bank precharges earlier).
+    fn advance_impl(
+        &mut self,
+        ts: &mut TimingState,
+        bus: &mut CommandBus,
+        mapping: &XorMapping,
+        allow_front: bool,
+    ) {
         self.fill_window(mapping);
         if self.window.is_empty() {
             let Some(step) = self.peeked.take().or_else(|| self.steps.next()) else {
@@ -283,53 +317,74 @@ impl<'a> UnitCursor<'a> {
         // column, so entries sharing (bank, row, direction) and an effective
         // not-before resolve to the same time — probe each distinct
         // combination once (sequential walks collapse to a single probe).
+        // A window confined to one bank group and direction whose front is
+        // a row hit needs no probes at all: the front entry provably wins
+        // (see [`UnitCursor::window_scope_uniform`]).
         let base_nb = self.not_before.max(self.launch_avail);
         let mut best_ix = 0;
-        let mut best_t = u64::MAX;
-        let mut cache: [(u64, u64, u64); 8] = [(0, 0, 0); 8];
-        let mut cache_len = 0usize;
-        for (i, e) in self.window.iter().enumerate() {
-            let nb = base_nb.max(e.gen_ready);
-            let c = e.coord;
-            let key = c.channel as u64
-                | (c.rank as u64) << 8
-                | (c.bankgroup as u64) << 16
-                | (c.bank as u64) << 24
-                | (c.row as u64) << 32;
-            // The direction rides in bit 63 of the not-before word (cycle
-            // counts stay far below 2^63), keeping the key free for a full
-            // 32-bit row field.
-            let nb_key = nb | (e.write as u64) << 63;
-            let cached = cache[..cache_len].iter().find(|&&(k, n, _)| k == key && n == nb_key);
-            let t = match cached {
-                Some(&(_, _, t)) => t,
-                None => {
-                    let kind = if e.write { CasKind::Write } else { CasKind::Read };
-                    let t = ts.probe(c, kind, self.port, nb);
-                    if cache_len < cache.len() {
-                        cache[cache_len] = (key, nb_key, t);
-                        cache_len += 1;
+        let front_wins = allow_front
+            && self.window_scope_uniform(scope_mask(mapping))
+            && self.window.front().is_some_and(|e| ts.row_open(&e.coord));
+        if !front_wins {
+            let mut best_t = u64::MAX;
+            let mut cache: [(u64, u64, u64); 8] = [(0, 0, 0); 8];
+            let mut cache_len = 0usize;
+            for (i, e) in self.window.iter().enumerate() {
+                let nb = base_nb.max(e.gen_ready);
+                // `WinEntry::key` already encodes (bank, row, direction) —
+                // exactly the identity `TimingState::probe` depends on
+                // beyond the not-before time.
+                let cached = cache[..cache_len].iter().find(|&&(k, n, _)| k == e.key && n == nb);
+                let t = match cached {
+                    Some(&(_, _, t)) => t,
+                    None => {
+                        let kind = if e.write { CasKind::Write } else { CasKind::Read };
+                        let t = ts.probe(e.coord, kind, self.port, nb);
+                        if cache_len < cache.len() {
+                            cache[cache_len] = (e.key, nb, t);
+                            cache_len += 1;
+                        }
+                        t
                     }
-                    t
-                }
-            };
-            if t < best_t {
-                best_t = t;
-                best_ix = i;
-                if t <= base_nb {
-                    break; // cannot beat an immediate issue
+                };
+                if t < best_t {
+                    best_t = t;
+                    best_ix = i;
+                    if t <= base_nb {
+                        break; // cannot beat an immediate issue
+                    }
                 }
             }
         }
         let e = self.window.remove(best_ix).expect("window entry");
-        let mut nb = base_nb.max(e.gen_ready);
-        if self.inflight.len() >= self.pipeline_depth {
-            if let Some(t) = self.inflight.pop_front() {
-                nb = nb.max(t);
-            }
-        }
+        let nb = self.issue_nb(e.gen_ready);
         let kind = if e.write { CasKind::Write } else { CasKind::Read };
         let bt = ts.access(e.coord, kind, self.port, nb);
+        self.finish_block(&e, bt);
+    }
+
+    /// Whether every window entry shares the front's bank group, rank, and
+    /// direction (`scope_mask` selects those key bits). In that scope the
+    /// FR-FCFS selection is provably the front entry: a same-path row hit
+    /// can start no earlier than the shared tCCDL cadence the front already
+    /// achieves, a row miss pays at least tRCD on top of it, and later
+    /// entries' AGEN-ready times are nondecreasing — so the front's probe
+    /// time is minimal and index order breaks the tie. (Entries in a
+    /// *different* bank group could genuinely win — tCCDS < tCCDL is the
+    /// reorder window's raison d'être — so they end the fast path.)
+    #[inline]
+    fn window_scope_uniform(&self, scope_mask: u64) -> bool {
+        let mut it = self.window.iter();
+        match it.next() {
+            Some(first) => it.all(|e| (e.key ^ first.key) & scope_mask == 0),
+            None => false,
+        }
+    }
+
+    /// Per-block bookkeeping after a DRAM access issued for window entry
+    /// `e`: clock/category attribution, SIMD pipeline, launch gating, and
+    /// the next block's earliest desire.
+    fn finish_block(&mut self, e: &WinEntry, bt: stepstone_dram::BlockTiming) {
         if self.pending_kernel_start {
             self.pending_kernel_start = false;
             self.launch_req = bt.cas_at;
@@ -358,6 +413,87 @@ impl<'a> UnitCursor<'a> {
         self.end_time = self.end_time.max(bt.data_end).max(self.simd_free);
     }
 
+    /// Earliest issue time for the entry about to leave the window, with
+    /// pipeline back-pressure applied. The batch path must compute this
+    /// *identically* to [`UnitCursor::advance`] — one shared definition.
+    #[inline]
+    fn issue_nb(&mut self, gen_ready: u64) -> u64 {
+        let mut nb = self.not_before.max(self.launch_avail).max(gen_ready);
+        if self.inflight.len() >= self.pipeline_depth {
+            if let Some(t) = self.inflight.pop_front() {
+                nb = nb.max(t);
+            }
+        }
+        nb
+    }
+
+    /// Execute the next step, then — when `fast` is set — keep issuing on
+    /// the span fast path for as long as the reorder window holds a
+    /// scope-uniform run with a row-hit front.
+    ///
+    /// `fast` is the scheduler's promise that every unit in the phase owns
+    /// an [`UnitCursor::exclusive`] bank partition and no colocated
+    /// traffic, refresh, or global-time trace is active. Under it, a
+    /// steady row-hit run may stream arbitrarily far ahead of other units'
+    /// scheduler turns: the FR-FCFS selection is provably the front entry
+    /// (see [`UnitCursor::window_scope_uniform`]), the closed-form CAS
+    /// cadence of [`TimingState::access_run_with`] is exact, and same-row
+    /// CAS commands read and write only the unit's own bank and datapath
+    /// stamps — so commits from other (lagging) units cannot change them,
+    /// and batch-issuing the whole run commutes with the per-block
+    /// interleave. Everything that touches shared state — PRE/ACT (rank
+    /// tRRD/tFAW windows), refresh, kernel launches on the command bus,
+    /// FR-FCFS probes of a mixed window — still waits for its exact
+    /// scheduler turn, so results stay bit-identical to repeated
+    /// [`UnitCursor::advance`] calls.
+    pub fn advance_batch(
+        &mut self,
+        ts: &mut TimingState,
+        bus: &mut CommandBus,
+        mapping: &XorMapping,
+        fast: bool,
+    ) {
+        self.advance_impl(ts, bus, mapping, fast);
+        if !fast {
+            return;
+        }
+        let scope = scope_mask(mapping);
+        loop {
+            self.fill_window(mapping);
+            let Some(front) = self.window.front() else { return };
+            // A run may only start on a guaranteed row hit in a
+            // scope-uniform window — the conditions under which the
+            // FR-FCFS selection is provably the front entry. A row-miss
+            // front goes back through the exact probe scan (another bank's
+            // earlier precharge could win), and its PRE/ACT must order
+            // against other units' rank state at its scheduler turn.
+            if !self.window_scope_uniform(scope) || !ts.row_open(&front.coord) {
+                return;
+            }
+            let e0 = *front;
+            self.window.pop_front();
+            let kind = if e0.write { CasKind::Write } else { CasKind::Read };
+            let nb = self.issue_nb(e0.gen_ready);
+            let mut cur = e0;
+            ts.access_run_with(e0.coord, kind, self.port, nb, &mut |bt| {
+                self.finish_block(&cur, bt);
+                self.fill_window(mapping);
+                let front = self.window.front()?;
+                // The run continues only within the same bank, row, and
+                // direction (the row is necessarily still open, so every
+                // follower is a closed-form hit); any boundary returns to
+                // the outer loop, and a row/bank change from there to the
+                // exact per-block path.
+                if front.key != cur.key || !self.window_scope_uniform(scope) {
+                    return None;
+                }
+                cur = self.window.pop_front().expect("checked front");
+                let nb = self.issue_nb(cur.gen_ready);
+                Some((cur.coord, nb))
+            });
+        }
+    }
+
     /// Close out attribution after the program is exhausted: the SIMD
     /// pipeline drains into the GEMM category.
     pub fn finish(&mut self) {
@@ -367,6 +503,13 @@ impl<'a> UnitCursor<'a> {
         }
         self.end_time = self.end_time.max(self.clock);
     }
+}
+
+/// Key bits identifying (channel, rank, bank group, direction): everything
+/// in `WinEntry::key` except the bank-within-group and row fields.
+#[inline]
+fn scope_mask(mapping: &XorMapping) -> u64 {
+    (!0u64 << (33 + mapping.geometry().bank_bits())) | 1
 }
 
 /// Colocated CPU traffic as an engine participant.
@@ -457,6 +600,19 @@ fn run_units(
         .enumerate()
         .filter_map(|(i, u)| u.desired(mapping).map(|t| Reverse((t, i))))
         .collect();
+    // The span fast path needs every actor's bank/path state to move only
+    // at its own turn: no colocated traffic, no refresh, no global-time
+    // trace, and every unit on a private bank partition. Exclusivity is
+    // required even for the within-bound front-wins shortcut — a
+    // non-exclusive unit (e.g. a DMA cursor in a fused round) can ACT a
+    // row in another unit's bank and stamp its CAS on a *different* path,
+    // leaving that bank's next_cas ahead of the other unit's own cadence
+    // and breaking the "front row hit starts no later than any window
+    // sibling" inference.
+    let fast = traffic.is_none()
+        && !ts.config().refresh
+        && !ts.trace_enabled()
+        && units.iter().all(|u| u.exclusive);
     while let Some(Reverse((t, i))) = heap.pop() {
         // Let CPU traffic that wants the bus earlier go first.
         if let Some(tc) = traffic.as_deref_mut() {
@@ -464,7 +620,7 @@ fn run_units(
                 tc.advance(ts, bus, mapping);
             }
         }
-        units[i].advance(ts, bus, mapping);
+        units[i].advance_batch(ts, bus, mapping, fast);
         if let Some(nt) = units[i].desired(mapping) {
             heap.push(Reverse((nt, i)));
         }
@@ -620,6 +776,51 @@ mod tests {
         let c1 = remap.remap(base, 1 << 7); // parity 1
         assert_eq!(c1.bankgroup, 1);
         assert_eq!(c1.row, 5 | (1 << 15), "parity folded into a high row bit");
+    }
+
+    #[test]
+    fn window_selection_respects_pending_refresh() {
+        // Regression: `TimingState::probe` used to ignore pending refresh,
+        // so the FR-FCFS window ordered accesses on estimates wrong by up
+        // to tRFC right after a deadline. A unit holding [rank-0 hit
+        // (refresh overdue), rank-1 hit (already refreshed)] must issue the
+        // rank-1 access first once probe accounts for rank 0's REF stall.
+        let mapping = mapping_by_id(MappingId::Skylake);
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let tp = cfg.timing;
+        // Find channel-0 blocks on each rank.
+        let pa_of = |rank: u32| {
+            (0..1u64 << 20)
+                .map(|b| b * 64)
+                .find(|&pa| {
+                    let c = mapping.decode(pa);
+                    c.channel == 0 && c.rank == rank
+                })
+                .expect("block on rank")
+        };
+        let (pa0, pa1) = (pa_of(0), pa_of(1));
+        let mut ts = TimingState::new(cfg);
+        // Open both rows, then retire rank 1's refresh just past the
+        // deadline; rank 0's stays pending.
+        ts.access(mapping.decode(pa0), CasKind::Read, Port::Channel, 0);
+        ts.access(mapping.decode(pa1), CasKind::Read, Port::Channel, 0);
+        ts.access(mapping.decode(pa1), CasKind::Read, Port::Channel, tp.t_refi + 10);
+        assert_eq!(ts.stats.refreshes, 1, "rank 1 refreshed, rank 0 still owes");
+        ts.enable_trace();
+        let start = tp.t_refi + 400;
+        let steps = vec![read_step(pa0), read_step(pa1)];
+        let mut units = vec![UnitCursor::new(
+            "t", 0, Port::Channel, steps.into_iter(), start, 0, 0, 4, 0, 0, 4, None,
+        )];
+        let mut bus = CommandBus::new(2);
+        run_phase(&mut ts, &mut bus, &mapping, &mut units, None);
+        let trace = ts.take_trace().expect("trace").records;
+        let first = trace.iter().find(|r| r.time >= start).expect("post-start command");
+        assert_eq!(
+            first.coord.rank, 1,
+            "the refresh-free rank must be selected first (got {first:?})"
+        );
+        assert_eq!(ts.stats.refreshes, 2, "rank 0's REF then committed");
     }
 
     #[test]

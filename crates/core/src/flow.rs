@@ -383,7 +383,8 @@ pub struct KernelStream<'a> {
 }
 
 impl<'a> KernelStream<'a> {
-    pub(crate) fn new(
+    /// Build the lazy kernel-phase step stream for active PIM `pix`.
+    pub fn new(
         ctx: &'a GemmContext,
         sys: &SystemConfig,
         opts: &SimOptions,
@@ -635,7 +636,7 @@ impl Iterator for RegionInterleave<'_> {
 
 /// Build DMA transfer cursors (one per channel) over the given per-PIM
 /// region plans.
-pub(crate) fn transfer_cursors<'a>(
+pub fn transfer_cursors<'a>(
     ctx: &'a GemmContext,
     regions: &'a [RegionPlan],
     write: bool,
@@ -722,7 +723,7 @@ pub fn simulate_pow2_gemm_exec(
                         .into_iter(),
                 ),
             };
-            UnitCursor::new(
+            let mut u = UnitCursor::new(
                 "pim",
                 ctx.pim_channel(ctx.active_pims[pix]),
                 opts.level_cfg.port(),
@@ -735,7 +736,12 @@ pub fn simulate_pow2_gemm_exec(
                 sys.launch.launch_latency,
                 sys.dram.timing.t_bl,
                 remap.clone(),
-            )
+            );
+            // Each PIM owns its bank partition and internal datapath (the
+            // ID parities pin channel/rank/BG bits), so steady CAS runs may
+            // stream past other units' scheduler turns.
+            u.exclusive = true;
+            u
         })
         .collect();
     let kernel_end =

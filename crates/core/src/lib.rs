@@ -35,4 +35,7 @@ pub use flow::{
 pub use gemm::GemmSpec;
 pub use report::{ActivityCounts, LatencyReport, Phase};
 pub use select::{choose_backend, estimate_pim_cycles, options_for, Backend};
-pub use serving::{cpu_crossover_batch, simulate_gemm_fused, simulate_split_batch, PIM_CHUNK_BATCH};
+pub use serving::{
+    cpu_crossover_batch, simulate_gemm_fused, simulate_split_batch, split_batch_cycles,
+    CROSSOVER_SEARCH_CAP, PIM_CHUNK_BATCH,
+};

@@ -43,21 +43,57 @@ pub fn simulate_split_batch(
     report
 }
 
+/// Largest batch the crossover search examines before concluding the PIM
+/// stays ahead.
+pub const CROSSOVER_SEARCH_CAP: usize = 1 << 14;
+
+/// Predicted split-batch PIM cycles for an arbitrary batch `n`, costed the
+/// way [`simulate_split_batch`] executes it: full batch-32 chunks at the
+/// full-chunk price plus one *partial* chunk simulated at its real (smaller,
+/// cheaper) size — not `ceil(n/32)` full chunks.
+pub fn split_batch_cycles(sys: &SystemConfig, m: usize, k: usize, n: usize, level: PimLevel) -> u64 {
+    let full = (n / PIM_CHUNK_BATCH) as u64;
+    let rem = n % PIM_CHUNK_BATCH;
+    let mut cycles = if full > 0 {
+        full * crate::flow::simulate_gemm(sys, &GemmSpec::new(m, k, PIM_CHUNK_BATCH), level).total
+    } else {
+        0
+    };
+    if rem > 0 {
+        cycles += crate::flow::simulate_gemm(sys, &GemmSpec::new(m, k, rem), level).total;
+    }
+    cycles
+}
+
 /// The batch size at which the CPU overtakes split-batch PIM execution for
 /// an `m × k` weight matrix (the paper's N = 384 claim for BERT's layers).
-pub fn cpu_crossover_batch(sys: &SystemConfig, m: usize, k: usize, level: PimLevel) -> usize {
+/// The search is chunk-granular — batches between multiples of
+/// [`PIM_CHUNK_BATCH`] cost *less* than the next multiple (see
+/// [`split_batch_cycles`]), so the first losing multiple bounds the true
+/// crossover from above by one chunk.
+///
+/// Returns `None` when no crossover exists within
+/// [`CROSSOVER_SEARCH_CAP`] samples — previously this was conflated with
+/// "crossover at the cap", making a PIM that never loses indistinguishable
+/// from one that loses at 16 Ki samples.
+pub fn cpu_crossover_batch(
+    sys: &SystemConfig,
+    m: usize,
+    k: usize,
+    level: PimLevel,
+) -> Option<usize> {
     let cpu = CpuModel::default();
-    // The PIM cost is linear in the number of chunks; compute one chunk.
+    // The PIM cost is linear in the number of full chunks; simulate one.
     let chunk = crate::flow::simulate_gemm(sys, &GemmSpec::new(m, k, PIM_CHUNK_BATCH), level).total;
     let mut n = PIM_CHUNK_BATCH;
-    loop {
-        let chunks = n.div_ceil(PIM_CHUNK_BATCH) as u64;
-        let pim = chunks * chunk;
-        if cpu.cycles(&GemmSpec::new(m, k, n)) < pim || n > 1 << 14 {
-            return n;
+    while n <= CROSSOVER_SEARCH_CAP {
+        let pim = (n / PIM_CHUNK_BATCH) as u64 * chunk;
+        if cpu.cycles(&GemmSpec::new(m, k, n)) < pim {
+            return Some(n);
         }
         n += PIM_CHUNK_BATCH;
     }
+    None
 }
 
 /// Fused execution of a non-power-of-two GEMM: the sub-matrices' phases are
@@ -120,7 +156,7 @@ pub fn simulate_gemm_fused(
         let start = kernel_ready.max(kernel_end);
         let mut cursors: Vec<UnitCursor> = (0..ctx.active_pims.len())
             .map(|pix| {
-                UnitCursor::new(
+                let mut u = UnitCursor::new(
                     "pim-fused",
                     ctx.pim_channel(ctx.active_pims[pix]),
                     opts.level_cfg.port(),
@@ -133,7 +169,13 @@ pub fn simulate_gemm_fused(
                     sys.launch.launch_latency,
                     sys.dram.timing.t_bl,
                     None,
-                )
+                );
+                // Kernel PIMs own their bank partitions; the rounds that
+                // also carry next-round DMA localization keep the strict
+                // per-block interleave (the DMA cursor is not exclusive,
+                // which disables scheduler overrun for the whole group).
+                u.exclusive = true;
+                u
             })
             .collect();
         let n_kernels = cursors.len();
@@ -216,7 +258,8 @@ mod tests {
         // value shifts, but the structural relation must hold and the
         // crossover must land at hundreds of samples.
         let sys = SystemConfig::default();
-        let crossover = cpu_crossover_batch(&sys, 1024, 4096, PimLevel::Device);
+        let crossover =
+            cpu_crossover_batch(&sys, 1024, 4096, PimLevel::Device).expect("crossover exists");
         let cpu = CpuModel::default();
         let chunk_speedup = cpu.cycles(&GemmSpec::new(1024, 4096, PIM_CHUNK_BATCH)) as f64
             / crate::flow::simulate_gemm(
@@ -232,6 +275,25 @@ mod tests {
         );
         let ratio = crossover as f64 / predicted;
         assert!((0.5..2.0).contains(&ratio), "crossover {crossover} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn partial_final_chunk_is_costed_at_its_real_size() {
+        // 40 samples = one full chunk + a batch-8 tail. The old costing
+        // charged ceil(40/32) = 2 full chunks; the tail must be cheaper.
+        let sys = SystemConfig::default();
+        let (m, k) = (1024, 4096);
+        let chunk =
+            crate::flow::simulate_gemm(&sys, &GemmSpec::new(m, k, PIM_CHUNK_BATCH), PimLevel::Device)
+                .total;
+        let tail =
+            crate::flow::simulate_gemm(&sys, &GemmSpec::new(m, k, 8), PimLevel::Device).total;
+        let split = split_batch_cycles(&sys, m, k, 40, PimLevel::Device);
+        assert_eq!(split, chunk + tail);
+        assert!(split < 2 * chunk, "tail costed as a full chunk");
+        // And the search cap is distinguishable from a genuine crossover.
+        let crossover = cpu_crossover_batch(&sys, m, k, PimLevel::Device);
+        assert!(matches!(crossover, Some(n) if n <= CROSSOVER_SEARCH_CAP));
     }
 
     #[test]

@@ -417,33 +417,47 @@ impl TimingState {
         (data_start, data_end)
     }
 
-    /// Refresh handling: if the rank's deadline passed, simulate an all-bank
-    /// REF starting no earlier than `t` and return when the rank is usable.
-    fn maybe_refresh(&mut self, c: &DramCoord, t: u64) -> u64 {
-        if !self.cfg.refresh {
-            return t;
+    /// Non-committing refresh query: if rank `rk` has refresh deadlines at
+    /// or before `t`, return when the owed all-bank REFs complete (issued
+    /// back-to-back starting no earlier than `t` and every bank's `next_pre`)
+    /// and how many are owed. `None` when no refresh is due.
+    fn refresh_due(&self, rk: usize, t: u64) -> Option<(u64, u64)> {
+        if !self.cfg.refresh || t < self.ranks[rk].next_ref {
+            return None;
         }
-        let g = *self.geom();
-        let rk = c.rank_index(&g);
-        if t < self.ranks[rk].next_ref {
-            return t;
-        }
-        let tp = self.cfg.timing;
-        // Close every row in the rank, then hold it for tRFC.
+        let g = self.geom();
+        let tp = &self.cfg.timing;
+        // Every interval whose deadline passed is owed exactly once.
+        let owed = (t - self.ranks[rk].next_ref) / tp.t_refi + 1;
         let bank_base = rk * (g.bankgroups_per_rank * g.banks_per_bankgroup) as usize;
         let nb = (g.bankgroups_per_rank * g.banks_per_bankgroup) as usize;
         let mut start = t;
         for b in 0..nb {
             start = start.max(self.banks[bank_base + b].next_pre);
         }
-        let done = start + tp.t_rp + tp.t_rfc;
+        Some((start + tp.t_rp + owed * tp.t_rfc, owed))
+    }
+
+    /// Refresh handling: if the rank's deadline passed, simulate the owed
+    /// all-bank REFs starting no earlier than `t` and return when the rank
+    /// is usable. A rank that idled through many intervals pays its whole
+    /// refresh debt here, once — `next_ref` advances past `t`, so the *next*
+    /// access does not eat another catch-up REF.
+    fn maybe_refresh(&mut self, c: &DramCoord, t: u64) -> u64 {
+        let g = *self.geom();
+        let rk = c.rank_index(&g);
+        let Some((done, owed)) = self.refresh_due(rk, t) else {
+            return t;
+        };
+        let bank_base = rk * (g.bankgroups_per_rank * g.banks_per_bankgroup) as usize;
+        let nb = (g.bankgroups_per_rank * g.banks_per_bankgroup) as usize;
         for b in 0..nb {
             let bank = &mut self.banks[bank_base + b];
             bank.open_row = None;
             bank.next_act = bank.next_act.max(done);
         }
-        self.ranks[rk].next_ref += tp.t_refi;
-        self.stats.refreshes += 1;
+        self.ranks[rk].next_ref += owed * self.cfg.timing.t_refi;
+        self.stats.refreshes += owed;
         done
     }
 
@@ -494,15 +508,31 @@ impl TimingState {
         BlockTiming { cas_at, data_start, data_end, row_hit, acts }
     }
 
+    /// Whether `c`'s bank currently holds `c.row` open — the next access to
+    /// it is a guaranteed row hit that reads no rank-shared state.
+    pub fn row_open(&self, c: &DramCoord) -> bool {
+        self.banks[c.bank_index(self.geom())].open_row == Some(c.row)
+    }
+
     /// Non-committing estimate of when the *data* of an access would start.
+    ///
+    /// Mirrors [`TimingState::access`] including a pending refresh: a rank
+    /// whose deadline has passed gets its rows closed and stalls until the
+    /// owed REFs complete before the estimate's ACT — otherwise the estimate
+    /// is wrong by up to tRFC right after a refresh deadline and the
+    /// engine's FR-FCFS selection orders accesses on fiction.
     pub fn probe(&self, coord: DramCoord, kind: CasKind, port: Port, not_before: u64) -> u64 {
         let g = *self.geom();
         let bank = &self.banks[coord.bank_index(&g)];
         let tp = &self.cfg.timing;
-        let cas_from = match bank.open_row {
-            Some(r) if r == coord.row => not_before,
-            Some(_) => self.earliest_pre(&coord, not_before) + tp.t_rp + tp.t_rcd,
-            None => self.earliest_act(&coord, not_before) + tp.t_rcd,
+        let refreshed = self.refresh_due(coord.rank_index(&g), not_before);
+        let cas_from = match (refreshed, bank.open_row) {
+            // A pending refresh closes every row in the rank; the ACT waits
+            // for the REF chain (and any standing tRC floor on the bank).
+            (Some((done, _)), _) => self.earliest_act(&coord, done.max(bank.next_act)) + tp.t_rcd,
+            (None, Some(r)) if r == coord.row => not_before,
+            (None, Some(_)) => self.earliest_pre(&coord, not_before) + tp.t_rp + tp.t_rcd,
+            (None, None) => self.earliest_act(&coord, not_before) + tp.t_rcd,
         };
         let cas_at = self.earliest_cas(&coord, kind, port, cas_from);
         cas_at
@@ -510,6 +540,167 @@ impl TimingState {
                 CasKind::Read => tp.t_cl,
                 CasKind::Write => tp.t_cwl,
             }
+    }
+
+    /// Issue a *run* of same-direction block accesses with a closed-form
+    /// fast path. The first block goes through the full [`TimingState::access`]
+    /// machinery (refresh, PRE/ACT, every Table II constraint). Each
+    /// subsequent block is supplied by `next`, which receives the timing of
+    /// the block just issued and returns the next `(coord, not_before)` (or
+    /// `None` to end the run).
+    ///
+    /// While a follower stays in the *steady state* — same bank and row as
+    /// the previous block, no refresh deadline crossed — its CAS time is
+    /// exact in closed form: every constraint that does not advance within
+    /// a same-row run (tRCD from the opening ACT, write→read / read→write
+    /// turnarounds against pre-run commands) was already folded into the
+    /// previous CAS, so the only live constraints are the CAS-to-CAS cadence
+    /// and data-bus occupancy, `cas = max(nb, prev_cas + max(tCCDL, tCCDS,
+    /// tBL))`. Bank/path stamps, bus occupancy, and [`DramStats`] are
+    /// batch-committed when the steady state breaks or the run ends.
+    /// Followers that leave the steady state (row or bank change, pending
+    /// refresh) — and every block when command tracing is on — fall back to
+    /// the full per-block path, so the sequence of [`BlockTiming`]s, the
+    /// stats, and the trace are bit-identical to `n` single `access` calls.
+    ///
+    /// Returns the number of blocks issued (≥ 1).
+    pub fn access_run_with(
+        &mut self,
+        first: DramCoord,
+        kind: CasKind,
+        port: Port,
+        not_before: u64,
+        next: &mut dyn FnMut(BlockTiming) -> Option<(DramCoord, u64)>,
+    ) -> u64 {
+        let g = *self.geom();
+        let tp = self.cfg.timing;
+        let step = tp.t_ccdl.max(tp.t_ccds).max(tp.t_bl);
+        let latency = match kind {
+            CasKind::Read => tp.t_cl,
+            CasKind::Write => tp.t_cwl,
+        };
+        let mut bt = self.access(first, kind, port, not_before);
+        let mut n = 1u64;
+        let mut run = first;
+        let mut bank_ix = run.bank_index(&g);
+        let mut rank_ix = run.rank_index(&g);
+        // Followers issued in closed form but not yet committed.
+        let mut pending = 0u64;
+        let mut last_cas = bt.cas_at;
+        while let Some((c, nb)) = next(bt) {
+            let steady = self.trace.is_none()
+                && c.row == run.row
+                && c.bank_index(&g) == bank_ix
+                && (!self.cfg.refresh || nb < self.ranks[rank_ix].next_ref)
+                && self.banks[bank_ix].open_row == Some(run.row);
+            if steady {
+                let cas_at = nb.max(last_cas + step);
+                bt = BlockTiming {
+                    cas_at,
+                    data_start: cas_at + latency,
+                    data_end: cas_at + latency + tp.t_bl,
+                    row_hit: true,
+                    acts: 0,
+                };
+                last_cas = cas_at;
+                pending += 1;
+            } else {
+                self.commit_run(&run, kind, port, pending, last_cas);
+                pending = 0;
+                bt = self.access(c, kind, port, nb);
+                run = c;
+                bank_ix = run.bank_index(&g);
+                rank_ix = run.rank_index(&g);
+                last_cas = bt.cas_at;
+            }
+            n += 1;
+        }
+        self.commit_run(&run, kind, port, pending, last_cas);
+        n
+    }
+
+    /// Batch-commit `count` closed-form followers of a steady run ending at
+    /// `last_cas`: all per-block updates are monotone in the CAS time, so
+    /// only the final values need storing.
+    fn commit_run(&mut self, c: &DramCoord, kind: CasKind, port: Port, count: u64, last_cas: u64) {
+        if count == 0 {
+            return;
+        }
+        let tp = self.cfg.timing;
+        let g = *self.geom();
+        let (bg_ix, rk_ix) = self.path_scope(port, c);
+        let path_ix = self.path_index(port, c);
+        let latency = match kind {
+            CasKind::Read => tp.t_cl,
+            CasKind::Write => tp.t_cwl,
+        };
+        let bank = &mut self.banks[c.bank_index(&g)];
+        match kind {
+            CasKind::Read => bank.next_pre = bank.next_pre.max(last_cas + tp.t_rtp),
+            CasKind::Write => {
+                bank.next_pre = bank.next_pre.max(last_cas + tp.t_cwl + tp.t_bl + tp.t_wr)
+            }
+        }
+        let path = &mut self.paths[path_ix];
+        path.last_cas = stamp(last_cas);
+        path.last_cas_by_bg[bg_ix] = stamp(last_cas);
+        match kind {
+            CasKind::Read => path.last_rd_by_rank[rk_ix] = stamp(last_cas),
+            CasKind::Write => {
+                path.last_wr_by_rank[rk_ix] = stamp(last_cas);
+                path.last_wr_by_bg[bg_ix] = stamp(last_cas);
+            }
+        }
+        path.bus_free = last_cas + latency + tp.t_bl;
+        path.bus_last_rank = c.rank;
+        path.bus_used = true;
+        match kind {
+            CasKind::Read => {
+                self.stats.reads += count;
+                self.stats.reads_by_port[port.index()] += count;
+            }
+            CasKind::Write => {
+                self.stats.writes += count;
+                self.stats.writes_by_port[port.index()] += count;
+            }
+        }
+        self.stats.row_hits += count;
+        self.stats.data_cycles += count * tp.t_bl;
+    }
+
+    /// Span-level access: `len` physically contiguous blocks starting at
+    /// `coord` (columns incrementing, wrapping into the next row), each with
+    /// the same `not_before`. Equivalent to — and bit-identical with — `len`
+    /// single [`TimingState::access`] calls over the same coordinates, but
+    /// same-row followers are issued in closed form (see
+    /// [`TimingState::access_run_with`]).
+    pub fn access_run(
+        &mut self,
+        coord: DramCoord,
+        kind: CasKind,
+        port: Port,
+        not_before: u64,
+        len: u64,
+    ) -> Vec<BlockTiming> {
+        assert!(len >= 1, "a run has at least one block");
+        let g = *self.geom();
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = coord;
+        let mut left = len - 1;
+        self.access_run_with(coord, kind, port, not_before, &mut |bt| {
+            out.push(bt);
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            cur.col += 1;
+            if cur.col >= g.blocks_per_row {
+                cur.col = 0;
+                cur.row = (cur.row + 1) % g.rows_per_bank;
+            }
+            Some((cur, not_before))
+        });
+        out
     }
 }
 
@@ -640,6 +831,60 @@ mod tests {
         let after = ts.access(coord(0, 0, 0, 0, 0, 1), CasKind::Read, Port::Channel, 10_000);
         assert_eq!(ts.stats.refreshes, 1);
         assert!(after.cas_at >= 10_000 + cfg.timing.t_rfc, "post-refresh access is delayed");
+    }
+
+    #[test]
+    fn long_idle_rank_pays_its_refresh_debt_once() {
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let tp = cfg.timing;
+        let mut ts = TimingState::new(cfg);
+        let c = coord(0, 0, 0, 0, 0, 0);
+        ts.access(c, CasKind::Read, Port::Channel, 0);
+        assert_eq!(ts.stats.refreshes, 0);
+        // Idle through 10 whole refresh intervals, then touch the rank.
+        let t = tp.t_refi * 10 + tp.t_refi / 2;
+        let first = ts.access(coord(0, 0, 0, 0, 0, 1), CasKind::Read, Port::Channel, t);
+        assert_eq!(ts.stats.refreshes, 10, "every missed interval is owed exactly once");
+        assert!(first.cas_at >= t + 10 * tp.t_rfc, "the debt is charged to this access");
+        // The *next* access must not eat another catch-up REF: next_ref has
+        // advanced past `t`, so only the regular cadence remains.
+        let second = ts.access(coord(0, 0, 0, 0, 0, 2), CasKind::Read, Port::Channel, first.cas_at);
+        assert_eq!(ts.stats.refreshes, 10, "no further catch-up REF");
+        assert!(second.cas_at < first.cas_at + tp.t_rfc, "second access is cadence-paced");
+    }
+
+    #[test]
+    fn probe_accounts_for_pending_refresh() {
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let mut ts = TimingState::new(cfg);
+        let c = coord(0, 0, 0, 0, 3, 0);
+        ts.access(c, CasKind::Read, Port::Channel, 0);
+        // Just past the deadline: the non-committing estimate must match
+        // what the committing access actually achieves (and not be
+        // optimistic by up to tRFC).
+        let t = cfg.timing.t_refi + 5;
+        let next = coord(0, 0, 1, 0, 3, 0);
+        let est = ts.probe(next, CasKind::Read, Port::Channel, t);
+        assert_eq!(ts.stats.refreshes, 0, "probe commits nothing");
+        let bt = ts.access(next, CasKind::Read, Port::Channel, t);
+        assert_eq!(est, bt.data_start, "estimate equals the committed data start");
+        assert_eq!(ts.stats.refreshes, 1);
+        assert!(est >= t + cfg.timing.t_rfc, "estimate includes the REF stall");
+    }
+
+    #[test]
+    fn probe_refresh_estimate_is_consistent_on_the_open_rank() {
+        // Same-rank probe with a pending refresh: rows will be closed by
+        // the REF, so even a would-be row hit must estimate a full ACT.
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let mut ts = TimingState::new(cfg);
+        let c = coord(0, 0, 0, 0, 3, 0);
+        ts.access(c, CasKind::Read, Port::Channel, 0);
+        let t = cfg.timing.t_refi + 1;
+        let est = ts.probe(coord(0, 0, 0, 0, 3, 1), CasKind::Read, Port::Channel, t);
+        let bt = ts.access(coord(0, 0, 0, 0, 3, 1), CasKind::Read, Port::Channel, t);
+        assert_eq!(est, bt.data_start);
+        assert!(!bt.row_hit, "refresh closed the row");
     }
 
     #[test]

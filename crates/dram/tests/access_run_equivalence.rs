@@ -1,0 +1,197 @@
+//! The span fast path must be invisible: `access_run(len)` (and the
+//! callback-driven `access_run_with`) must produce exactly the
+//! `BlockTiming` sequence, `DramStats`, and command trace of `len`
+//! independent `access` calls over the same coordinates — including runs
+//! that straddle row ends and refresh deadlines, every port, both CAS
+//! directions, and arbitrary not-before pressure.
+
+use proptest::prelude::*;
+use stepstone_addr::DramCoord;
+use stepstone_dram::{CasKind, DramConfig, Port, TimingState};
+
+fn coord(rank: u32, bg: u32, bank: u32, row: u32, col: u32) -> DramCoord {
+    DramCoord { channel: 0, rank, bankgroup: bg, bank, row, col }
+}
+
+/// The per-block reference: `len` single `access` calls over the same
+/// col-incrementing (row-wrapping) coordinate sequence `access_run` uses.
+fn reference_run(
+    ts: &mut TimingState,
+    mut c: DramCoord,
+    kind: CasKind,
+    port: Port,
+    not_before: u64,
+    len: u64,
+) -> Vec<stepstone_dram::BlockTiming> {
+    let g = ts.config().geom;
+    let mut out = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        out.push(ts.access(c, kind, port, not_before));
+        c.col += 1;
+        if c.col >= g.blocks_per_row {
+            c.col = 0;
+            c.row = (c.row + 1) % g.rows_per_bank;
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunSpec {
+    rank: u32,
+    bg: u32,
+    bank: u32,
+    row: u32,
+    col: u32,
+    write: bool,
+    port: u8,
+    not_before: u64,
+    len: u64,
+}
+
+fn run_spec() -> impl Strategy<Value = RunSpec> {
+    (
+        (0u32..2, 0u32..4, 0u32..4, 0u32..64),
+        0u32..128,
+        any::<bool>(),
+        0u8..3,
+        0u64..4000,
+        1u64..200,
+    )
+        .prop_map(|((rank, bg, bank, row), col, write, port, not_before, len)| RunSpec {
+            rank,
+            bg,
+            bank,
+            row,
+            col,
+            write,
+            port,
+            not_before,
+            len,
+        })
+}
+
+fn port_of(ix: u8) -> Port {
+    Port::ALL[ix as usize % 3]
+}
+
+fn apply_runs(cfg: DramConfig, specs: &[RunSpec], trace: bool, fast: bool) -> TimingState {
+    let mut ts = TimingState::new(cfg);
+    if trace {
+        ts.enable_trace();
+    }
+    for s in specs {
+        let c = coord(s.rank, s.bg, s.bank, s.row, s.col);
+        let kind = if s.write { CasKind::Write } else { CasKind::Read };
+        let port = port_of(s.port);
+        if fast {
+            let timings = ts.access_run(c, kind, port, s.not_before, s.len);
+            assert_eq!(timings.len(), s.len as usize);
+        } else {
+            reference_run(&mut ts, c, kind, port, s.not_before, s.len);
+        }
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // One run at a time from a cold state: identical timings and stats,
+    // with and without refresh, across random coords/kinds/ports/lengths
+    // (lengths up to 200 blocks straddle the 128-block rows).
+    #[test]
+    fn single_run_matches_per_block(spec in run_spec(), refresh in any::<bool>()) {
+        let cfg = DramConfig { refresh, ..DramConfig::default() };
+        let c = coord(spec.rank, spec.bg, spec.bank, spec.row, spec.col);
+        let kind = if spec.write { CasKind::Write } else { CasKind::Read };
+        let port = port_of(spec.port);
+
+        let mut fast = TimingState::new(cfg);
+        let got = fast.access_run(c, kind, port, spec.not_before, spec.len);
+        let mut slow = TimingState::new(cfg);
+        let want = reference_run(&mut slow, c, kind, port, spec.not_before, spec.len);
+
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(fast.stats, slow.stats);
+    }
+
+    // Sequences of runs over a shared state — mixed directions, ports,
+    // banks — so the batch commit of one run feeds the constraints of the
+    // next. Stats and (traced) command streams must match exactly.
+    #[test]
+    fn run_sequences_match_per_block(specs in proptest::collection::vec(run_spec(), 1..12),
+                                     refresh in any::<bool>()) {
+        let cfg = DramConfig { refresh, ..DramConfig::default() };
+        let fast = apply_runs(cfg, &specs, false, true);
+        let slow = apply_runs(cfg, &specs, false, false);
+        prop_assert_eq!(fast.stats, slow.stats);
+    }
+
+    // With command tracing on, the fast path must still record every
+    // PRE/ACT/REF/CAS at the same time, place, and order.
+    #[test]
+    fn traced_runs_match_per_block(specs in proptest::collection::vec(run_spec(), 1..8)) {
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let mut fast = apply_runs(cfg, &specs, true, true);
+        let mut slow = apply_runs(cfg, &specs, true, false);
+        let ft = fast.take_trace().expect("trace").records;
+        let st = slow.take_trace().expect("trace").records;
+        prop_assert_eq!(ft, st);
+    }
+
+    // An engine-style greedy run (each block's not-before is the previous
+    // CAS) driven across a refresh deadline: the fast path must fall back
+    // for the refresh block mid-run and stay bit-identical.
+    #[test]
+    fn runs_straddle_refresh_deadlines(len in 2u64..2500, headroom in 0u64..2000) {
+        let cfg = DramConfig { refresh: true, ..DramConfig::default() };
+        let g = cfg.geom;
+        let start = cfg.timing.t_refi.saturating_sub(headroom);
+        let first = coord(0, 0, 0, 7, 0);
+        let next_coord = |mut c: DramCoord| {
+            c.col += 1;
+            if c.col >= g.blocks_per_row {
+                c.col = 0;
+                c.row = (c.row + 1) % g.rows_per_bank;
+            }
+            c
+        };
+
+        let mut fast = TimingState::new(cfg);
+        let mut got = Vec::new();
+        {
+            let mut c = first;
+            let mut left = len - 1;
+            fast.access_run_with(first, CasKind::Read, Port::Channel, start, &mut |bt| {
+                got.push(bt);
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                c = next_coord(c);
+                Some((c, bt.cas_at))
+            });
+        }
+
+        let mut slow = TimingState::new(cfg);
+        let mut want = Vec::new();
+        {
+            let mut c = first;
+            let mut nb = start;
+            for _ in 0..len {
+                let bt = slow.access(c, CasKind::Read, Port::Channel, nb);
+                nb = bt.cas_at;
+                want.push(bt);
+                c = next_coord(c);
+            }
+        }
+
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(fast.stats, slow.stats);
+        // Long runs starting near the deadline must actually cross it.
+        if len > 400 {
+            prop_assert!(fast.stats.refreshes >= 1, "run crossed no deadline");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-phase wall-clock breakdown of one streaming GEMM simulation —
+//! the profiling companion to `bench_sim` (which times end-to-end runs).
+//!
+//! Usage: `cargo run --release --example phase_time [M K N]`
+//! (defaults to 2048 2048 64 at StepStone-BG).
+
+use std::time::Instant;
+use stepstone_addr::PimLevel;
+use stepstone_core::engine::{run_phase_auto, UnitCursor};
+use stepstone_core::flow::{transfer_cursors, GemmContext, KernelStream};
+use stepstone_core::{GemmSpec, Phase, SimOptions, SystemConfig};
+use stepstone_dram::{CommandBus, TimingState};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (m, k, n) = if args.len() == 3 { (args[0], args[1], args[2]) } else { (2048, 2048, 64) };
+    let sys = SystemConfig { parallel: false, ..SystemConfig::default() };
+    let spec = GemmSpec::new(m, k, n);
+    let opts = SimOptions::stepstone(PimLevel::BankGroup);
+    let ctx = GemmContext::build(&sys, &spec, &opts);
+    let mut ts = TimingState::new(sys.dram);
+    let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
+    let loc_mode = sys.localization;
+
+    let t0 = Instant::now();
+    let mut loc = transfer_cursors(
+        &ctx,
+        &ctx.b_regions,
+        true,
+        Phase::Localization,
+        0,
+        loc_mode.inter_block_gap(),
+    );
+    let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, None, sys.parallel);
+    let loc_blocks = ts.stats.accesses();
+    println!(
+        "loc   : {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        t0.elapsed().as_nanos() as f64 / loc_blocks.max(1) as f64,
+        loc_blocks
+    );
+
+    let t0 = Instant::now();
+    let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
+        .map(|pix| {
+            let mut u = UnitCursor::new(
+                "pim",
+                ctx.pim_channel(ctx.active_pims[pix]),
+                opts.level_cfg.port(),
+                KernelStream::new(&ctx, &sys, &opts, pix),
+                loc_end,
+                opts.level_cfg.compute_cycles_per_block(ctx.n),
+                opts.level_cfg.simd_ops_per_block(ctx.n),
+                opts.level_cfg.pipeline_depth as usize,
+                sys.launch.slots_for(opts.granularity),
+                sys.launch.launch_latency,
+                sys.dram.timing.t_bl,
+                None,
+            );
+            u.exclusive = true;
+            u
+        })
+        .collect();
+    run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, None, sys.parallel);
+    let kern_blocks = ts.stats.accesses() - loc_blocks;
+    println!(
+        "kernel: {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        t0.elapsed().as_nanos() as f64 / kern_blocks.max(1) as f64,
+        kern_blocks
+    );
+
+    let kernel_end = units.iter().map(|u| u.end_time).max().unwrap_or(loc_end);
+    let t0 = Instant::now();
+    let mut red = transfer_cursors(
+        &ctx,
+        &ctx.c_regions,
+        false,
+        Phase::Reduction,
+        kernel_end,
+        loc_mode.inter_block_gap(),
+    );
+    run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, None, sys.parallel);
+    let red_blocks = ts.stats.accesses() - loc_blocks - kern_blocks;
+    println!(
+        "red   : {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        t0.elapsed().as_nanos() as f64 / red_blocks.max(1) as f64,
+        red_blocks
+    );
+}

@@ -71,3 +71,20 @@ fn ablations() {
     let f = figures::ablations::run(Scale::Quick);
     assert!(f.tables.len() >= 4);
 }
+
+#[test]
+fn crossover_serving() {
+    let f = figures::crossover::run(Scale::Quick);
+    assert_populated(&f, 3);
+    // Each row either reports a concrete crossover batch (a positive
+    // multiple of the 32-sample chunk) or the explicit "none" marker —
+    // never a bare search-cap value masquerading as a crossover.
+    for row in &f.tables[0].1.rows {
+        let cell = &row[2];
+        if let Ok(n) = cell.parse::<usize>() {
+            assert!(n > 0 && n % 32 == 0 && n <= 1 << 14, "{row:?}");
+        } else {
+            assert!(cell.contains("none"), "{row:?}");
+        }
+    }
+}
