@@ -1,6 +1,6 @@
 # Developer entry points. `just` users: see justfile (same targets).
 
-.PHONY: build test clippy ci bench-smoke bench-paper
+.PHONY: build test clippy doc ci bench-smoke bench-paper
 
 build:
 	cargo build --release
@@ -11,9 +11,13 @@ test:
 clippy:
 	cargo clippy --workspace --all-targets -q -- -D warnings
 
-# The merge gate for perf-relevant changes: build, test, lint, and
+# Warning-free API docs (rustdoc lints are errors).
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# The merge gate for perf-relevant changes: build, test, lint, docs, and
 # validate BENCH_sim.json on the quick shape.
-ci: build test clippy bench-smoke
+ci: build test clippy doc bench-smoke
 	@echo "ci: all gates green"
 
 # Build release and run the simulator hot-path bench at the *paper scale*
@@ -43,8 +47,15 @@ floor=0.85*c['speedup_streaming_vs_seed']; \
 assert d['speedup_streaming_vs_seed']>=floor, \
 'speedup_streaming_vs_seed %.2fx regressed below committed floor %.2fx' \
 % (d['speedup_streaming_vs_seed'], floor); \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx)' \
-% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop']))"
+sp=d['subpaper']; csp=c['subpaper']; \
+assert sp['cycle_exact'] is True, 'sub-paper modes disagree'; \
+share=sp['agen_ns_per_span']/sp['seed_ns_per_block']; \
+cshare=csp['agen_ns_per_span']/csp['seed_ns_per_block']; \
+assert share<=1.15*cshare, \
+'agen_ns_per_span regressed >15%%: %.1f ns/span (%.3f of seed ns/block) vs committed %.1f (%.3f)' \
+% (sp['agen_ns_per_span'], share, csp['agen_ns_per_span'], cshare); \
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f)' \
+% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop'], sp['agen_ns_per_span'], share, 1.15*cshare))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

@@ -22,10 +22,21 @@
 //! Sequence equality between the two generators is enforced by unit and
 //! property tests — the same validation the paper performs against
 //! pre-generated address traces (§IV).
+//!
+//! On top of the generators sits the **periodic span program**
+//! ([`SpanProgram`]): the satisfying set of a parity system is periodic in
+//! every aligned window whose prefix folds to the same residual parity
+//! state, so the corrector walk only needs to run *once* per (low-mask
+//! system, parity state) — every later window with the same state replays
+//! the recorded [`AgenSpan`] skeleton with pure offset arithmetic. See the
+//! `SpanProgram` docs for the exactness argument.
 
 use crate::geometry::BLOCK_BYTES;
 use crate::gf2::Gf2System;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// `parity(pa & mask) == parity` must hold for a block to be emitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +67,7 @@ pub struct AgenStep {
 
 /// Which of the paper's two iteration-compression rules are active; both on
 /// is the full StepStone AGEN, both off is a plain bit-serial corrector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AgenRules {
     /// Rule 1: adjacent bits feeding the same ID bit correct in one step.
     pub instant_correction: bool,
@@ -196,10 +207,16 @@ impl PreparedLevel {
     }
 }
 
-/// The StepStone increment-correct-and-check generator.
-#[derive(Debug, Clone)]
-pub struct StepStoneAgen {
-    cs: Vec<ParityConstraint>,
+/// The echelonized corrector state of a constraint system: every quantity a
+/// successor query needs that depends only on the constraint *masks* (and
+/// the compression rules) — parities enter a query only through the RHS
+/// bits. Walks with the same mask sequence (every Algorithm-1 cell of one
+/// GEMM: same ID masks, same group masks, same partition bits — only the
+/// parities differ per PIM/group/partition) share one table set through
+/// [`corrector_tables`], so the per-walk construction cost is paid once per
+/// shape instead of once per cell.
+#[derive(Debug)]
+struct CorrectorTables {
     /// Ascending ID-affecting bit positions (the union of constraint masks).
     sbits: Vec<u32>,
     /// `unit_start[u]` = lowest bit position of compressed iteration unit
@@ -209,6 +226,62 @@ pub struct StepStoneAgen {
     levels: Vec<PreparedLevel>,
     /// Byte span over which no constrained bit changes (`1 << sbits[0]`).
     run_bytes: u64,
+}
+
+impl CorrectorTables {
+    fn build(cs: &[ParityConstraint], p_max: u32, rules: AgenRules) -> Self {
+        let mut union = 0u64;
+        for c in cs {
+            union |= c.mask;
+        }
+        let mut sbits = Vec::new();
+        let mut u = union;
+        while u != 0 {
+            sbits.push(u.trailing_zeros());
+            u &= u - 1;
+        }
+        let unit_starts = compress_units(cs, &sbits, rules);
+        let levels = (crate::geometry::BLOCK_SHIFT..=p_max)
+            .map(|p| PreparedLevel::prepare(cs, p))
+            .collect();
+        let run_bytes = sbits.first().map_or(u64::MAX, |&b| 1 << b);
+        Self { sbits, unit_starts, levels, run_bytes }
+    }
+}
+
+/// Distinct (mask sequence, level range, rules) corrector-table entries kept
+/// process-wide; beyond the cap, tables are built privately per walk.
+const CORRECTOR_CACHE_CAP: usize = 1024;
+
+type CorrectorKey = (Vec<u64>, u32, AgenRules);
+
+fn corrector_cache() -> &'static Mutex<HashMap<CorrectorKey, Arc<CorrectorTables>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CorrectorKey, Arc<CorrectorTables>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Shared corrector tables for a constraint system (see [`CorrectorTables`]).
+fn corrector_tables(cs: &[ParityConstraint], p_max: u32, rules: AgenRules) -> Arc<CorrectorTables> {
+    let key: CorrectorKey = (cs.iter().map(|c| c.mask).collect(), p_max, rules);
+    let mut cache = corrector_cache().lock().expect("corrector cache poisoned");
+    if let Some(t) = cache.get(&key) {
+        return Arc::clone(t);
+    }
+    let t = Arc::new(CorrectorTables::build(cs, p_max, rules));
+    if cache.len() < CORRECTOR_CACHE_CAP {
+        cache.insert(key, Arc::clone(&t));
+    }
+    t
+}
+
+/// The StepStone increment-correct-and-check generator.
+#[derive(Debug, Clone)]
+pub struct StepStoneAgen {
+    cs: Vec<ParityConstraint>,
+    /// Mask-derived corrector state, shared across walks with equal masks.
+    tables: Arc<CorrectorTables>,
+    /// Iteration-compression rules the tables were built with.
+    rules: AgenRules,
     /// Next block to emit within the current guaranteed run.
     cur: u64,
     /// Exclusive end of the current run.
@@ -237,28 +310,17 @@ impl StepStoneAgen {
         for c in &cs {
             union |= c.mask;
         }
-        let mut sbits = Vec::new();
-        let mut u = union;
-        while u != 0 {
-            sbits.push(u.trailing_zeros());
-            u &= u - 1;
-        }
-        let unit_starts = compress_units(&cs, &sbits, rules);
         // Highest position the successor scan can visit for any x < end
         // (capped at bit 63 — u64 addresses have nothing above it, and an
         // uncapped level would shift-overflow for end ≥ 2^62).
+        let top_sbit = if union == 0 { 6 } else { 63 - union.leading_zeros() };
         let hi = 63 - end.max(1).leading_zeros().min(57);
-        let p_max = (hi.max(sbits.last().copied().unwrap_or(6)) + 2).min(63);
-        let levels = (crate::geometry::BLOCK_SHIFT..=p_max)
-            .map(|p| PreparedLevel::prepare(&cs, p))
-            .collect();
-        let run_bytes = sbits.first().map_or(u64::MAX, |&b| 1 << b);
+        let p_max = (hi.max(top_sbit) + 2).min(63);
+        let tables = corrector_tables(&cs, p_max, rules);
         Self {
             cs,
-            sbits,
-            unit_starts,
-            levels,
-            run_bytes,
+            tables,
+            rules,
             cur: 0,
             span_end: 0,
             pending_iters: 0,
@@ -280,7 +342,7 @@ impl StepStoneAgen {
 
     /// Number of compressed iteration units (hardware loop bound).
     pub fn unit_count(&self) -> usize {
-        self.unit_starts.len()
+        self.tables.unit_starts.len()
     }
 
     /// Consume the generator as batched runs of contiguous blocks.
@@ -288,10 +350,16 @@ impl StepStoneAgen {
         Spans { agen: self }
     }
 
+    /// Consume the generator as batched runs through the periodic
+    /// span-program cache (identical span stream; see [`SpanProgram`]).
+    pub fn span_program(self) -> SpanProgram {
+        SpanProgram::new(self)
+    }
+
     /// Hardware iterations charged for a step that won at bit position `p`:
     /// the initial increment-and-check plus one per unit below `p`.
     fn iterations_for(&self, p: u32) -> u32 {
-        1 + self.unit_starts.iter().take_while(|&&s| s < p).count() as u32
+        1 + self.tables.unit_starts.iter().take_while(|&&s| s < p).count() as u32
     }
 
     /// Smallest satisfying block address strictly greater than `x`, or
@@ -312,7 +380,7 @@ impl StepStoneAgen {
         // produced at `p` = its highest bit differing from `x`, so scanning
         // all positions (with monotone-base pruning) is exact.
         let top = 63 - x.max(1).leading_zeros().min(57);
-        let top = (top.max(self.sbits.last().copied().unwrap_or(6)) + 2).min(63);
+        let top = (top.max(self.tables.sbits.last().copied().unwrap_or(6)) + 2).min(63);
         for p in crate::geometry::BLOCK_SHIFT..=top {
             let base = ((x >> p) + 1) << p;
             if let Some((b, _)) = best {
@@ -330,7 +398,8 @@ impl StepStoneAgen {
                     let prefix = (base & c.mask).count_ones() & 1;
                     rhs_bits |= (c.parity as u32 ^ prefix) << i;
                 }
-                self.levels[(p - crate::geometry::BLOCK_SHIFT) as usize].min_solution(rhs_bits)
+                self.tables.levels[(p - crate::geometry::BLOCK_SHIFT) as usize]
+                    .min_solution(rhs_bits)
             };
             let Some(fix) = fix else { continue };
             let cand = base | fix;
@@ -385,10 +454,10 @@ impl StepStoneAgen {
         }
         // All blocks up to the next constrained-bit boundary share every
         // mask parity with `pa`, so the whole run satisfies.
-        let boundary = if self.run_bytes == u64::MAX {
+        let boundary = if self.tables.run_bytes == u64::MAX {
             u64::MAX
         } else {
-            ((pa >> self.sbits[0]) + 1) << self.sbits[0]
+            ((pa >> self.tables.sbits[0]) + 1) << self.tables.sbits[0]
         };
         let end_aligned = self.end.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
         self.cur = pa;
@@ -439,6 +508,376 @@ impl Iterator for Spans {
         a.cur = a.span_end;
         a.pending_iters = 0;
         Some(span)
+    }
+}
+
+/// One recorded span of a window skeleton: block offset from the window
+/// base, run length in blocks, and the corrector iterations of the run's
+/// first block (meaningful for every span but the window's first, whose
+/// iteration count depends on the *previous* window and is recomputed live
+/// at replay time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SkelSpan {
+    off: u32,
+    len: u32,
+    iters: u32,
+}
+
+/// Per-(low-mask system, rules, pivot) skeleton store: one recorded span
+/// sequence per residual parity state, shared by every [`SpanProgram`] with
+/// the same key — across PIMs, groups, partitions, phases, and repeated
+/// layers.
+#[derive(Debug, Default)]
+struct SharedSkeletons {
+    by_state: Mutex<HashMap<u32, Arc<Vec<SkelSpan>>>>,
+}
+
+/// Caps for the global span-program cache: distinct (low-mask, pivot,
+/// rules) keys, and total recorded spans across all skeletons. Past either
+/// cap the walk simply stays live — output is identical either way.
+const SPAN_PROGRAM_KEY_CAP: usize = 512;
+const SPAN_PROGRAM_SPAN_CAP: usize = 1 << 20;
+
+/// Largest replay window: `2^(BLOCK_SHIFT + 14)` bytes = 16 Ki blocks, so a
+/// single skeleton never exceeds 16 Ki spans (the global span cap bounds
+/// total resident spans).
+const SPAN_WINDOW_BLOCK_BITS: u32 = 14;
+
+/// Windows are sized so the walked range holds at least ~2^6 of them:
+/// smaller windows mean more states repeat within one walk (pure-high
+/// constraint rows become gates that fold out of the state entirely), which
+/// is where within-walk replay comes from.
+const SPAN_WINDOWS_PER_RANGE_BITS: u32 = 6;
+
+type SpanProgramKey = (Vec<u64>, u32, AgenRules);
+
+struct SpanProgramCache {
+    programs: Mutex<HashMap<SpanProgramKey, Arc<SharedSkeletons>>>,
+    cached_spans: AtomicUsize,
+}
+
+fn span_program_cache() -> &'static SpanProgramCache {
+    static CACHE: OnceLock<SpanProgramCache> = OnceLock::new();
+    CACHE.get_or_init(|| SpanProgramCache {
+        programs: Mutex::new(HashMap::new()),
+        cached_spans: AtomicUsize::new(0),
+    })
+}
+
+/// Test/bench hook: spans currently resident in the global skeleton cache.
+pub fn span_cache_resident_spans() -> usize {
+    span_program_cache().cached_spans.load(Ordering::Relaxed)
+}
+
+/// A [`StepStoneAgen`] span stream that caches and replays the A-walk
+/// periodically — identical output to [`StepStoneAgen::spans`], with the
+/// GF(2) corrector running once per *window state* instead of once per
+/// span.
+///
+/// # Why this is exact
+///
+/// Fix a window size `2^p` (`p` = pivot, above the lowest constrained bit
+/// and at most one above the highest). For an aligned window `W`,
+/// membership of `W + o` depends only on each constraint's low mask
+/// `mᵢ ∧ (2^p − 1)` and the *residual parity* `rᵢ = parityᵢ ⊕
+/// parity(W ∧ mᵢ ∧ ¬(2^p − 1))` — the window prefix folds into the RHS.
+/// Therefore two windows (of any two walks) with equal low-mask sequences
+/// and equal residual states contain the *same* span pattern. The
+/// successor scan for an in-window span also only consults levels below
+/// `p` (a candidate prefix at or above `p` lands in a later window and can
+/// never beat an in-window successor), and its iteration count counts
+/// compressed units starting below `p`, which are equally determined by
+/// the low masks and rules. The only per-window quantity that depends on
+/// *more* than the state is the corrector cost of entering the window —
+/// the scan from the previous window's last address — so the replay path
+/// recomputes exactly that one successor live per window and replays the
+/// rest of the skeleton arithmetically.
+///
+/// Skeletons are recorded from fully-in-range windows the live walk enters
+/// at their first satisfying address, stored in a process-wide cache keyed
+/// like [`crate::region::RegionPlan`]'s offset tables (bounded; see
+/// `SPAN_PROGRAM_*` caps), and shared across units, phases, and repeated
+/// layers. Degenerate systems — no constraints, more than 20 constraints,
+/// windows no larger than a single contiguous run, or ranges without one
+/// full window — simply keep the live walk.
+pub struct SpanProgram {
+    agen: StepStoneAgen,
+    /// Replay machinery active (range and system are eligible).
+    enabled: bool,
+    /// `2^pivot`-byte replay window.
+    window_bytes: u64,
+    /// Per-constraint mask bits at or above the pivot (RHS folding).
+    hi_masks: Vec<u64>,
+    /// Packed constraint parities (`state = parities ⊕ fold(W)`).
+    parity_bits: u32,
+    start: u64,
+    shared: Arc<SharedSkeletons>,
+    /// `shared` lives in the process-wide cache (vs a private store after
+    /// key-cap overflow, whose spans die with the walk and must not be
+    /// charged to the global span budget).
+    shared_in_cache: bool,
+    /// Window of the most recently emitted span (`u64::MAX` before any).
+    cur_window: u64,
+    replay: Option<(Arc<Vec<SkelSpan>>, usize)>,
+    recording: Option<(u32, Vec<SkelSpan>)>,
+    /// Spans produced by the live generator (stats/test hook).
+    pub live_spans: u64,
+    /// Spans replayed from a cached skeleton (stats/test hook).
+    pub replayed_spans: u64,
+}
+
+impl SpanProgram {
+    fn new(agen: StepStoneAgen) -> Self {
+        let start = agen.last_pa;
+        let sbits = &agen.tables.sbits;
+        let mut enabled = !sbits.is_empty()
+            && agen.cs.len() <= 20
+            && !agen.uncached_corrector;
+        // Window pivot: small enough that the range holds many windows (so
+        // states recur and high constraint rows act as gates), large enough
+        // that a window spans several contiguous runs; hard-capped so one
+        // skeleton stays bounded.
+        let pivot = if enabled {
+            let lo = (sbits.first().expect("nonempty") + 1)
+                .max(crate::geometry::BLOCK_SHIFT + 1);
+            let hi = (sbits.last().expect("nonempty") + 1)
+                .min(crate::geometry::BLOCK_SHIFT + SPAN_WINDOW_BLOCK_BITS);
+            let range = agen.end.saturating_sub(start).max(1);
+            let by_range =
+                (63 - range.leading_zeros()).saturating_sub(SPAN_WINDOWS_PER_RANGE_BITS);
+            if lo > hi {
+                enabled = false;
+                crate::geometry::BLOCK_SHIFT
+            } else {
+                by_range.clamp(lo, hi)
+            }
+        } else {
+            crate::geometry::BLOCK_SHIFT
+        };
+        let window_bytes = 1u64 << pivot;
+        // At least one full window must fit in [start, end).
+        let w0 = start.div_ceil(window_bytes) * window_bytes;
+        enabled = enabled && w0.checked_add(window_bytes).is_some_and(|e| e <= agen.end);
+        let low_mask = window_bytes - 1;
+        let hi_masks: Vec<u64> = agen.cs.iter().map(|c| c.mask & !low_mask).collect();
+        let mut parity_bits = 0u32;
+        for (i, c) in agen.cs.iter().enumerate() {
+            parity_bits |= (c.parity as u32) << i;
+        }
+        let (shared, shared_in_cache) = if enabled {
+            Self::shared_for(
+                agen.cs.iter().map(|c| c.mask & low_mask).collect(),
+                pivot,
+                agen.rules,
+            )
+        } else {
+            (Arc::new(SharedSkeletons::default()), false)
+        };
+        Self {
+            agen,
+            enabled,
+            window_bytes,
+            hi_masks,
+            parity_bits,
+            start,
+            shared,
+            shared_in_cache,
+            cur_window: u64::MAX,
+            replay: None,
+            recording: None,
+            live_spans: 0,
+            replayed_spans: 0,
+        }
+    }
+
+    /// The cache-resident skeleton store for a key, or a private one (not
+    /// globally counted) once the key cap is reached.
+    fn shared_for(
+        low_masks: Vec<u64>,
+        pivot: u32,
+        rules: AgenRules,
+    ) -> (Arc<SharedSkeletons>, bool) {
+        let cache = span_program_cache();
+        let key = (low_masks, pivot, rules);
+        let mut programs = cache.programs.lock().expect("span cache poisoned");
+        if let Some(s) = programs.get(&key) {
+            return (Arc::clone(s), true);
+        }
+        let s = Arc::new(SharedSkeletons::default());
+        if programs.len() < SPAN_PROGRAM_KEY_CAP {
+            programs.insert(key, Arc::clone(&s));
+            return (s, true);
+        }
+        (s, false)
+    }
+
+    /// Is skeleton replay active for this walk (false for degenerate or
+    /// short-range systems, which keep the live walk)?
+    pub fn replay_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Residual parity state of an aligned window: each constraint's RHS
+    /// after folding the window prefix.
+    #[inline]
+    fn state_of(&self, w: u64) -> u32 {
+        let mut fold = 0u32;
+        for (i, &m) in self.hi_masks.iter().enumerate() {
+            fold |= ((w & m).count_ones() & 1) << i;
+        }
+        self.parity_bits ^ fold
+    }
+
+    /// Is `w`'s window entirely inside the walked range (so a skeleton can
+    /// be recorded from or replayed into it without clipping)?
+    #[inline]
+    fn window_in_range(&self, w: u64) -> bool {
+        w >= self.start && w + self.window_bytes <= self.agen.end
+    }
+
+    /// One span from the live generator — the body of [`Spans::next`].
+    fn live_next(&mut self) -> Option<AgenSpan> {
+        let a = &mut self.agen;
+        if a.cur >= a.span_end && !a.advance_span() {
+            return None;
+        }
+        let span = AgenSpan {
+            start_pa: a.cur,
+            len: (a.span_end - a.cur) / BLOCK_BYTES,
+            iterations: if a.pending_iters != 0 { a.pending_iters } else { 1 },
+        };
+        a.cur = a.span_end;
+        a.pending_iters = 0;
+        Some(span)
+    }
+
+    /// The walk has moved past the window being recorded (or ended), so the
+    /// recorded skeleton is complete: publish it.
+    fn flush_recording(&mut self) {
+        let Some((state, spans)) = self.recording.take() else { return };
+        let mut by_state = self.shared.by_state.lock().expect("skeleton map poisoned");
+        if by_state.contains_key(&state) {
+            // Another walk recorded the same state concurrently (the
+            // skeletons are identical by construction).
+            return;
+        }
+        // Only cache-resident stores count against the global span budget;
+        // a private (key-cap-overflow) store dies with the walk.
+        if self.shared_in_cache {
+            let cache = span_program_cache();
+            if cache.cached_spans.fetch_add(spans.len(), Ordering::Relaxed) + spans.len()
+                > SPAN_PROGRAM_SPAN_CAP
+            {
+                cache.cached_spans.fetch_sub(spans.len(), Ordering::Relaxed);
+                return;
+            }
+        }
+        by_state.insert(state, Arc::new(spans));
+    }
+
+    fn lookup(&self, state: u32) -> Option<Arc<Vec<SkelSpan>>> {
+        self.shared.by_state.lock().expect("skeleton map poisoned").get(&state).cloned()
+    }
+}
+
+impl Iterator for SpanProgram {
+    type Item = AgenSpan;
+
+    fn next(&mut self) -> Option<AgenSpan> {
+        if let Some((skel, ix)) = &mut self.replay {
+            if let Some(&s) = skel.get(*ix) {
+                *ix += 1;
+                let pa = self.cur_window + s.off as u64 * BLOCK_BYTES;
+                let len = s.len as u64;
+                // Keep the live generator's successor base in sync so the
+                // next boundary crossing scans from the true predecessor.
+                self.agen.last_pa = pa + (len - 1) * BLOCK_BYTES;
+                self.agen.cur = 0;
+                self.agen.span_end = 0;
+                self.replayed_spans += 1;
+                return Some(AgenSpan { start_pa: pa, len, iterations: s.iters });
+            }
+            self.replay = None;
+        }
+        let Some(span) = self.live_next() else {
+            // The walk ran off the end of the range: whatever window was
+            // being recorded has no further spans, so it is complete.
+            self.flush_recording();
+            return None;
+        };
+        self.live_spans += 1;
+        if self.enabled {
+            let w = span.start_pa & !(self.window_bytes - 1);
+            if w != self.cur_window {
+                self.flush_recording();
+                self.cur_window = w;
+                if self.window_in_range(w) {
+                    let state = self.state_of(w);
+                    if let Some(skel) = self.lookup(state) {
+                        debug_assert_eq!(w + skel[0].off as u64 * BLOCK_BYTES, span.start_pa);
+                        debug_assert_eq!(skel[0].len as u64, span.len);
+                        if skel.len() > 1 {
+                            self.replay = Some((skel, 1));
+                        }
+                    } else {
+                        // The walk enters a fully-in-range window at its
+                        // first satisfying address, so recording from here
+                        // captures the whole skeleton.
+                        self.recording = Some((
+                            state,
+                            vec![SkelSpan {
+                                off: ((span.start_pa - w) / BLOCK_BYTES) as u32,
+                                len: span.len as u32,
+                                iters: span.iterations,
+                            }],
+                        ));
+                    }
+                }
+            } else if let Some((_, spans)) = &mut self.recording {
+                spans.push(SkelSpan {
+                    off: ((span.start_pa - w) / BLOCK_BYTES) as u32,
+                    len: span.len as u32,
+                    iters: span.iterations,
+                });
+            }
+        }
+        Some(span)
+    }
+}
+
+/// Per-block view of a [`SpanProgram`]: the [`AgenStep`] stream of the
+/// underlying walk, with replayed spans unrolled by a counter. Drop-in for
+/// iterating a [`StepStoneAgen`] directly, at the span program's cost.
+pub struct ProgramSteps {
+    prog: SpanProgram,
+    cur: u64,
+    remaining: u64,
+    first_iters: u32,
+}
+
+impl Iterator for ProgramSteps {
+    type Item = AgenStep;
+
+    fn next(&mut self) -> Option<AgenStep> {
+        if self.remaining == 0 {
+            let span = self.prog.next()?;
+            self.cur = span.start_pa;
+            self.remaining = span.len;
+            self.first_iters = span.iterations;
+        }
+        let pa = self.cur;
+        self.cur += BLOCK_BYTES;
+        self.remaining -= 1;
+        let iterations =
+            if self.first_iters != 0 { std::mem::take(&mut self.first_iters) } else { 1 };
+        Some(AgenStep { pa, iterations })
+    }
+}
+
+impl SpanProgram {
+    /// Flatten the span stream back to per-block [`AgenStep`]s.
+    pub fn steps(self) -> ProgramSteps {
+        ProgramSteps { prog: self, cur: 0, remaining: 0, first_iters: 0 }
     }
 }
 
@@ -578,7 +1017,7 @@ mod tests {
         let none = StepStoneAgen::with_rules(cs.clone(), 0, 64, AgenRules::NONE);
         assert!(full.unit_count() < none.unit_count());
         // Without rules, one unit per ID-affecting bit.
-        assert_eq!(none.unit_count(), none.sbits.len());
+        assert_eq!(none.unit_count(), none.tables.sbits.len());
     }
 
     #[test]
@@ -616,6 +1055,120 @@ mod tests {
         assert_eq!(fast[0].pa, 0, "a satisfying start address must be emitted");
         let naive: Vec<_> = NaiveAgen::new(cs, 0, 256).collect();
         assert_eq!(naive[0].pa, 0);
+    }
+
+    fn spans_of(cs: &[ParityConstraint], start: u64, end: u64) -> Vec<AgenSpan> {
+        StepStoneAgen::new(cs.to_vec(), start, end).spans().collect()
+    }
+
+    #[test]
+    fn span_program_replays_real_pim_walks_exactly() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let layout = MatrixLayout::new_f32(0, 256, 2048);
+        for level in PimLevel::ALL {
+            let ga = GroupAnalysis::analyze(&m, level, layout);
+            for &pim in ga.active_pims().iter().take(4) {
+                for g in 0..ga.n_groups() {
+                    if !ga.is_admissible(pim, g) {
+                        continue;
+                    }
+                    let cs = ga.constraints_for(pim, g);
+                    let live = spans_of(&cs, layout.base, layout.end());
+                    let prog: Vec<AgenSpan> =
+                        StepStoneAgen::new(cs, layout.base, layout.end())
+                            .span_program()
+                            .collect();
+                    assert_eq!(live, prog, "{level:?} pim {pim} group {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_program_warm_walk_actually_replays() {
+        // A small-period system over a multi-window range: the second walk
+        // with the same key must replay, and still match the live stream.
+        let cs = vec![
+            ParityConstraint { mask: (1 << 7) | (1 << 9), parity: true },
+            ParityConstraint { mask: (1 << 8) | (1 << 11), parity: false },
+        ];
+        let end = 1 << 16;
+        let cold: Vec<AgenSpan> =
+            StepStoneAgen::new(cs.clone(), 0, end).span_program().collect();
+        let mut warm = StepStoneAgen::new(cs.clone(), 0, end).span_program();
+        assert!(warm.replay_enabled());
+        let warm_spans: Vec<AgenSpan> = warm.by_ref().collect();
+        assert_eq!(cold, warm_spans);
+        assert_eq!(warm_spans, spans_of(&cs, 0, end));
+        // Every span beyond a window's first replays from the cache (the
+        // first is the live boundary successor).
+        assert!(
+            warm.replayed_spans >= warm.live_spans && warm.replayed_spans > 0,
+            "warm walk must replay window interiors ({} replayed, {} live)",
+            warm.replayed_spans,
+            warm.live_spans
+        );
+    }
+
+    #[test]
+    fn span_program_unaligned_start_and_truncated_end_stay_exact() {
+        let cs = vec![
+            ParityConstraint { mask: (1 << 7) | (1 << 10), parity: false },
+            ParityConstraint { mask: 1 << 9, parity: true },
+        ];
+        // Starts not aligned to the 2^11 window, ends mid-window and
+        // mid-block-run; every variant must match the live stream.
+        for start_blk in [0u64, 1, 7, 31, 33] {
+            for end in [1 << 15, (1 << 15) + 192, (1 << 15) + 64 * 13] {
+                let start = start_blk * BLOCK_BYTES;
+                let live = spans_of(&cs, start, end);
+                let prog: Vec<AgenSpan> = StepStoneAgen::new(cs.clone(), start, end)
+                    .span_program()
+                    .collect();
+                assert_eq!(live, prog, "start {start} end {end}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_program_degenerate_systems_fall_back_to_live() {
+        // Unconstrained: one giant run, nothing to cache.
+        let p = StepStoneAgen::new(vec![], 0, 1 << 20).span_program();
+        assert!(!p.replay_enabled());
+        assert_eq!(p.count(), 1);
+        // Range shorter than one window (2^(lowest sbit + 1) = 256 B here):
+        // live walk.
+        let cs = vec![ParityConstraint { mask: (1 << 7) | (1 << 12), parity: true }];
+        let p = StepStoneAgen::new(cs.clone(), 0, 192).span_program();
+        assert!(!p.replay_enabled());
+        assert_eq!(p.map(|s| s.start_pa).collect::<Vec<_>>(), spans_of(&cs, 0, 192)
+            .iter()
+            .map(|s| s.start_pa)
+            .collect::<Vec<_>>());
+        // Unsatisfiable: empty either way.
+        let cs = vec![
+            ParityConstraint { mask: 1 << 8, parity: true },
+            ParityConstraint { mask: 1 << 8, parity: false },
+        ];
+        assert_eq!(StepStoneAgen::new(cs, 0, 1 << 20).span_program().count(), 0);
+    }
+
+    #[test]
+    fn span_program_shares_skeletons_across_parities() {
+        // Two PIM parities with the same masks explore disjoint residual
+        // states but share one skeleton store; both must stay exact.
+        let masks = [(1u64 << 7) | (1 << 13), (1u64 << 8) | (1 << 12)];
+        for parity_bits in 0..4u32 {
+            let cs: Vec<ParityConstraint> = masks
+                .iter()
+                .enumerate()
+                .map(|(i, &mask)| ParityConstraint { mask, parity: parity_bits >> i & 1 == 1 })
+                .collect();
+            let live = spans_of(&cs, 0, 1 << 17);
+            let prog: Vec<AgenSpan> =
+                StepStoneAgen::new(cs, 0, 1 << 17).span_program().collect();
+            assert_eq!(live, prog, "parities {parity_bits:#b}");
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`GroupAnalysis`] — per-matrix block-group structure: group count, local
 //!   columns, replication (sharing) and reduction factors.
 //! * [`agen`] — [`agen::NaiveAgen`] and [`agen::StepStoneAgen`], generating
-//!   identical address sequences with very different iteration costs.
+//!   identical address sequences with very different iteration costs, plus
+//!   [`agen::SpanProgram`], the cached periodic replay of the A-walk.
+//! * [`region`] — [`RegionPlan`], succinct GF(2) rank/select plans for the
+//!   per-PIM localized buffer regions (no materialized address lists).
 
 pub mod agen;
 pub mod geometry;
@@ -32,7 +35,9 @@ pub mod presets;
 pub mod region;
 pub mod reveng;
 
-pub use agen::{AgenStep, NaiveAgen, ParityConstraint, StepStoneAgen};
+pub use agen::{
+    AgenRules, AgenSpan, AgenStep, NaiveAgen, ParityConstraint, SpanProgram, StepStoneAgen,
+};
 pub use geometry::{DramCoord, Geometry, BLOCK_BYTES, BLOCK_SHIFT};
 pub use groups::GroupAnalysis;
 pub use layout::MatrixLayout;

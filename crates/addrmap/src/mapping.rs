@@ -226,6 +226,22 @@ impl XorMapping {
         &self.geom
     }
 
+    /// PA bits that feed *only* the column coordinate: owned by a column
+    /// bit and tapped by no other field. Flipping such a bit changes the
+    /// decoded column and nothing else, so a contiguous address run whose
+    /// varying bits all lie in this mask stays on one (channel, rank, bank
+    /// group, bank, row) — the guarantee behind [`crate::agen::SpanProgram`]
+    /// run hints to the execution engine.
+    pub fn column_pure_mask(&self) -> u64 {
+        let union = |masks: &[u64]| masks.iter().fold(0u64, |a, &m| a | m);
+        union(&self.col_masks)
+            & !union(&self.bank_masks)
+            & !union(&self.bg_masks)
+            & !union(&self.rank_masks)
+            & !union(&self.ch_masks)
+            & !union(&self.row_masks)
+    }
+
     /// PA-bit masks for a field's coordinate bits (absolute bit positions).
     pub fn field_masks(&self, field: Field) -> &[u64] {
         match field {

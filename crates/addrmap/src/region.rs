@@ -189,9 +189,14 @@ impl RegionPlan {
     }
 
     /// The per-residue offset table (see `period_offsets`), or `None` when
-    /// the pattern is too large to cache.
+    /// the pattern is too large to cache — or larger than the region it
+    /// would serve: a sub-paper-scale region of `len` blocks only ever
+    /// touches ~`len` residues, so building a full-period table would cost
+    /// more select() descents than it saves (cursors then amortize one
+    /// descent per contiguous run instead).
     fn offsets(&self) -> Option<&[u64]> {
-        if self.per_period == 0 || self.per_period > PERIOD_CACHE_CAP {
+        if self.per_period == 0 || self.per_period > PERIOD_CACHE_CAP || self.per_period > self.len
+        {
             return None;
         }
         Some(

@@ -3,7 +3,7 @@
 //! §IV), and block-group partition algebra.
 
 use proptest::prelude::*;
-use stepstone_addr::agen::{AgenRules, NaiveAgen, ParityConstraint, StepStoneAgen};
+use stepstone_addr::agen::{AgenRules, AgenSpan, AgenStep, NaiveAgen, ParityConstraint, StepStoneAgen};
 use stepstone_addr::geometry::{Geometry, BLOCK_SHIFT};
 use stepstone_addr::groups::GroupAnalysis;
 use stepstone_addr::layout::MatrixLayout;
@@ -193,6 +193,55 @@ proptest! {
     }
 
     #[test]
+    fn span_program_replays_the_live_walk_exactly(
+        masks in proptest::collection::vec((1u64..(1 << 14), any::<bool>()), 1..6),
+        start_blk in 0u64..512,
+        len_log in 12u32..18,
+    ) {
+        // The cached periodic span program must emit byte-identical spans
+        // (addresses, lengths, *and* corrector iteration counts) to the
+        // live generator — across random constraint systems, unaligned
+        // walk arenas, and ranges holding many pattern periods. Run the
+        // same walk twice so the second pass replays from warm skeletons.
+        let cs: Vec<ParityConstraint> = masks
+            .iter()
+            .map(|&(m, p)| ParityConstraint { mask: (m << BLOCK_SHIFT) & !63, parity: p })
+            .filter(|c| c.mask != 0)
+            .collect();
+        let start = start_blk << BLOCK_SHIFT;
+        let end = start + (1u64 << len_log);
+        let live: Vec<AgenSpan> =
+            StepStoneAgen::new(cs.clone(), start, end).spans().collect();
+        let cold: Vec<AgenSpan> =
+            StepStoneAgen::new(cs.clone(), start, end).span_program().collect();
+        prop_assert_eq!(&live, &cold);
+        let warm: Vec<AgenSpan> =
+            StepStoneAgen::new(cs, start, end).span_program().collect();
+        prop_assert_eq!(&live, &warm);
+    }
+
+    #[test]
+    fn span_program_steps_match_the_per_block_walk(
+        masks in proptest::collection::vec((1u64..(1 << 12), any::<bool>()), 1..5),
+        start_blk in 0u64..64,
+    ) {
+        // The flattened per-block view must match the plain iterator,
+        // iteration counts included.
+        let cs: Vec<ParityConstraint> = masks
+            .iter()
+            .map(|&(m, p)| ParityConstraint { mask: (m << BLOCK_SHIFT) & !63, parity: p })
+            .filter(|c| c.mask != 0)
+            .collect();
+        let start = start_blk << BLOCK_SHIFT;
+        let end = start + (1 << 16);
+        let per_block: Vec<AgenStep> =
+            StepStoneAgen::new(cs.clone(), start, end).collect();
+        let program: Vec<AgenStep> =
+            StepStoneAgen::new(cs, start, end).span_program().steps().collect();
+        prop_assert_eq!(per_block, program);
+    }
+
+    #[test]
     fn agen_rules_do_not_change_the_sequence(
         m in random_mapping(),
         rows_log in 2u32..4,
@@ -248,6 +297,33 @@ proptest! {
             );
         }
     }
+}
+
+#[test]
+fn span_program_key_cap_overflow_stays_exact() {
+    // Push far more distinct (mask set, pivot) keys through the global
+    // span-program cache than its key cap admits; overflowing entries get
+    // private skeleton stores and every walk must stay exact either way.
+    for i in 0..700u64 {
+        let cs = vec![
+            ParityConstraint { mask: (1 << 7) | ((i + 2) << 14), parity: i & 1 == 1 },
+            ParityConstraint { mask: (1 << 8) | (1 << 11), parity: i & 2 == 2 },
+        ];
+        let end = 1 << 16;
+        let live: Vec<u64> =
+            StepStoneAgen::new(cs.clone(), 0, end).spans().map(|s| s.start_pa).collect();
+        let prog: Vec<u64> = StepStoneAgen::new(cs, 0, end)
+            .span_program()
+            .map(|s| s.start_pa)
+            .collect();
+        assert_eq!(live, prog, "variant {i}");
+    }
+    // Private (overflow) stores die with their walks and must not be
+    // charged to the global span budget.
+    assert!(
+        stepstone_addr::agen::span_cache_resident_spans() <= 1 << 20,
+        "global span accounting exceeded its cap"
+    );
 }
 
 #[test]

@@ -22,9 +22,42 @@ fn bench_agen(c: &mut Criterion) {
             black_box(walk.count())
         })
     });
+    group.bench_function("span_program", |b| {
+        // Warm path: the periodic skeleton cache is shared process-wide,
+        // so after the first iteration this measures pure replay.
+        b.iter(|| {
+            let walk = StepStoneAgen::new(cs.clone(), layout.base, layout.end()).span_program();
+            black_box(walk.count())
+        })
+    });
     group.bench_function("naive", |b| {
         b.iter(|| {
             let walk = NaiveAgen::new(cs.clone(), layout.base, layout.end());
+            black_box(walk.count())
+        })
+    });
+    group.finish();
+
+    // The sub-paper serving shape (Table-I batch GEMMs): span generation
+    // for one (pim, group) cell of a 512x512 matrix — the walk the
+    // span-program tentpole targets.
+    let sp_layout = MatrixLayout::new_f32(0, 512, 512);
+    let sp_ga = GroupAnalysis::analyze(&mapping, PimLevel::BankGroup, sp_layout);
+    let sp_pim = sp_ga.active_pims()[0];
+    let sp_grp =
+        (0..sp_ga.n_groups()).find(|&g| sp_ga.is_admissible(sp_pim, g)).expect("admissible");
+    let sp_cs = sp_ga.constraints_for(sp_pim, sp_grp);
+    let mut group = c.benchmark_group("agen_subpaper_512");
+    group.bench_function("spans_live", |b| {
+        b.iter(|| {
+            let walk = StepStoneAgen::new(sp_cs.clone(), sp_layout.base, sp_layout.end());
+            black_box(walk.spans().count())
+        })
+    });
+    group.bench_function("span_program", |b| {
+        b.iter(|| {
+            let walk = StepStoneAgen::new(sp_cs.clone(), sp_layout.base, sp_layout.end())
+                .span_program();
             black_box(walk.count())
         })
     });

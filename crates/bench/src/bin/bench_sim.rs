@@ -14,16 +14,28 @@
 //!   "region_addrs": {"materialized":…, "resident":…, "drop":…},
 //!   "speedup_streaming_vs_seed": …,
 //!   "speedup_parallel_vs_serial": …,
+//!   "subpaper": {"m":…, "k":…, "n":…, "cold_ns_per_block":…,
+//!                "warm_ns_per_block":…, "seed_ns_per_block":…,
+//!                "speedup_warm_vs_seed":…, "agen_ns_per_span":…,
+//!                "cycle_exact": true},
 //!   "cycle_exact": true
 //! }
 //! ```
+//!
+//! The `subpaper` section tracks the Table-I serving shapes (batch-scale
+//! GEMMs) where AGEN, not DRAM timing, dominates: `cold` is the first
+//! simulation of the shape (span-program cache empty), `warm` the second —
+//! the steady state of repeated layers — and `agen_ns_per_span` times the
+//! production span generator alone across every Algorithm-1 cell
+//! (best-of-N to damp host noise; regression-gated by `make bench-smoke`).
 //!
 //! Usage: `bench_sim [--quick] [M K N]`. `--quick` (or
 //! `STEPSTONE_SCALE=quick`) runs a reduced shape for smoke tests.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use stepstone_addr::PimLevel;
+use stepstone_addr::groups::partition_constraints;
+use stepstone_addr::{PimLevel, StepStoneAgen};
 use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
 use stepstone_core::flow::build_kernel_program_for;
 use stepstone_core::{
@@ -145,6 +157,9 @@ fn main() {
         });
     }
 
+    // ---- sub-paper-scale serving shape (Table-I batch GEMMs) ----
+    let sp = subpaper_section(&sys, &serial_sys);
+
     let cycle_exact = runs.windows(2).all(|w| {
         w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
     });
@@ -184,8 +199,122 @@ fn main() {
     );
     let _ = writeln!(json, "  \"speedup_streaming_vs_seed\": {speedup:.3},");
     let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {par_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"subpaper\": {{\"m\": {}, \"k\": {}, \"n\": {}, \"level\": \"BG\", \
+         \"cold_ns_per_block\": {:.2}, \"warm_ns_per_block\": {:.2}, \
+         \"seed_ns_per_block\": {:.2}, \"speedup_warm_vs_seed\": {:.3}, \
+         \"agen_ns_per_span\": {:.2}, \"cache_resident_spans\": {}, \
+         \"cycle_exact\": {}}},",
+        sp.m,
+        sp.k,
+        sp.n,
+        sp.cold_ns_per_block,
+        sp.warm_ns_per_block,
+        sp.seed_ns_per_block,
+        sp.seed_ns_per_block / sp.warm_ns_per_block,
+        sp.agen_ns_per_span,
+        sp.cache_resident_spans,
+        sp.cycle_exact,
+    );
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("  [saved BENCH_sim.json]");
+}
+
+struct SubPaper {
+    m: usize,
+    k: usize,
+    n: usize,
+    cold_ns_per_block: f64,
+    warm_ns_per_block: f64,
+    seed_ns_per_block: f64,
+    agen_ns_per_span: f64,
+    /// Skeleton spans resident in the global span-program cache after the
+    /// runs (bounded by its caps; the replay working set).
+    cache_resident_spans: usize,
+    cycle_exact: bool,
+}
+
+/// Measure the sub-paper serving shape: cold and warm streaming runs (the
+/// span-program cache persists across simulations, so "warm" is the
+/// steady state of repeated Table-I layers), the frozen seed replay for a
+/// cycle cross-check, and the production span generator alone.
+fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
+    let (m, k, n) = (512, 512, 32);
+    let spec = GemmSpec::new(m, k, n);
+    let opts = SimOptions::stepstone(PimLevel::BankGroup);
+    let timed = |sys: &SystemConfig| {
+        let t0 = Instant::now();
+        let rep = simulate_pow2_gemm_exec(sys, &spec, &opts, None, ExecMode::Streaming);
+        (t0.elapsed().as_nanos() as f64, rep)
+    };
+    let (cold_ns, cold) = timed(sys);
+    let (warm_ns, warm) = timed(sys);
+    let t0 = Instant::now();
+    let seed = simulate_pow2_gemm_seed(serial_sys, &spec, &opts);
+    let seed_ns = t0.elapsed().as_nanos() as f64;
+    let blocks = cold.dram.accesses() as f64;
+    let cycle_exact = cold.total == warm.total
+        && cold.total == seed.total
+        && cold.dram.accesses() == seed.dram.accesses();
+    assert!(cycle_exact, "sub-paper modes disagree on simulated cycles/blocks");
+
+    // Span generation alone, over every Algorithm-1 cell, best-of-5.
+    let ctx = GemmContext::build(sys, &spec, &opts);
+    let mut best_ns_per_span = f64::MAX;
+    let mut spans = 0u64;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        spans = 0;
+        for &pim in &ctx.active_pims {
+            for grp in 0..ctx.ga.n_groups() {
+                if !ctx.ga.is_admissible(pim, grp) {
+                    continue;
+                }
+                for rpart in 0..ctx.plan.rparts {
+                    for cpart in 0..ctx.plan.cparts {
+                        let mut cs = ctx.ga.constraints_for(pim, grp);
+                        cs.extend(partition_constraints(
+                            ctx.layout.mrow_mask(),
+                            ctx.plan.rparts,
+                            rpart,
+                        ));
+                        cs.extend(partition_constraints(
+                            ctx.layout.mcol_mask(),
+                            ctx.plan.cparts,
+                            cpart,
+                        ));
+                        spans += StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end())
+                            .span_program()
+                            .count() as u64;
+                    }
+                }
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / spans.max(1) as f64;
+        best_ns_per_span = best_ns_per_span.min(ns);
+    }
+    let cache_resident_spans = stepstone_addr::agen::span_cache_resident_spans();
+    println!(
+        "  sub-paper {m}x{k} N={n}: cold {:.1} / warm {:.1} / seed {:.1} ns/block, \
+         agen {best_ns_per_span:.1} ns/span ({spans} spans, {:.2}x warm vs seed, \
+         {cache_resident_spans} cached spans)",
+        cold_ns / blocks,
+        warm_ns / blocks,
+        seed_ns / blocks,
+        seed_ns / warm_ns,
+    );
+    SubPaper {
+        m,
+        k,
+        n,
+        cold_ns_per_block: cold_ns / blocks,
+        warm_ns_per_block: warm_ns / blocks,
+        seed_ns_per_block: seed_ns / blocks,
+        agen_ns_per_span: best_ns_per_span,
+        cache_resident_spans,
+        cycle_exact,
+    }
 }

@@ -76,12 +76,15 @@ fn simulate_pei_pow2(
 
     // Kernel: one command packet per cache block, in plain address order
     // (the host performs address generation; no PIM-side AGEN). The packet
-    // stream is generated lazily straight off the AGEN walk.
+    // stream is generated lazily straight off the AGEN walk, replayed
+    // through the span-program cache.
     let mut units: Vec<UnitCursor> = ctx
         .active_pims
         .iter()
         .map(|&pim| {
             let steps = StepStoneAgen::new(ctx.ga.pim_constraints(pim), ctx.layout.base, ctx.layout.end())
+                .span_program()
+                .steps()
                 .flat_map(|s| {
                     [
                         Step::Launch,
@@ -224,16 +227,18 @@ fn simulate_ncho_pow2(
                     compute: false,
                 });
                 // Chopim's aligned-vector walk: sequential within the
-                // partition; no per-block AGEN cost.
-                let gemv = StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end()).map(|s| {
-                    Step::Access {
+                // partition; no per-block AGEN cost. (Replayed spans keep
+                // the N-fold re-walk of A cheap on the simulator side.)
+                let gemv = StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end())
+                    .span_program()
+                    .steps()
+                    .map(|s| Step::Access {
                         pa: s.pa,
                         write: false,
                         cat: Phase::Gemm,
                         agen_iters: 1,
                         compute: true,
-                    }
-                });
+                    });
                 let drain_y = y_regions[pix].iter().map(|pa| Step::Access {
                     pa,
                     write: true,

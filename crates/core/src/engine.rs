@@ -1,7 +1,9 @@
 //! Multi-agent, event-driven execution engine.
 //!
 //! Each PIM unit (or DMA channel, or the colocated CPU) is a *cursor* over a
-//! pre-built step program. The engine repeatedly advances the cursor with
+//! lazily streamed step program (a [`StepSource`]: AGEN span programs,
+//! region cursors — materialized `Vec<Step>`s survive only as the frozen
+//! equivalence baseline). The engine repeatedly advances the cursor with
 //! the earliest desired issue time, so commits into the shared
 //! [`TimingState`] stay approximately time-ordered while PIM units with
 //! disjoint bank partitions proceed concurrently.
@@ -62,6 +64,42 @@ impl SubsetRemap {
     }
 }
 
+/// A step-program source: an iterator plus an optional *run hint*.
+///
+/// `run_hint` describes the steps about to be pulled: a return of `R > 1`
+/// promises that the next `R` items are `Step::Access`es over contiguous
+/// ascending block addresses whose DRAM coordinates differ only in the
+/// column — i.e. they share one `(bank, row, direction)` window key. The
+/// span program's replayed runs let [`crate::flow::KernelStream`] promise
+/// whole spans at once, so the reorder window can reuse the run's key and
+/// keep its uniformity flag without per-entry comparisons. Plain sources
+/// return 1 (no promise). The hint is purely an accelerator: entries still
+/// decode their own coordinates, and debug builds verify the promised key.
+pub trait StepSource: Iterator<Item = Step> {
+    fn run_hint(&self) -> u64 {
+        1
+    }
+}
+
+impl<S: StepSource + ?Sized> StepSource for Box<S> {
+    fn run_hint(&self) -> u64 {
+        (**self).run_hint()
+    }
+}
+
+/// Adapter giving any step iterator the trivial (hint-free) source shape.
+pub struct PlainSteps<I>(pub I);
+
+impl<I: Iterator<Item = Step>> Iterator for PlainSteps<I> {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        self.0.next()
+    }
+}
+
+impl<I: Iterator<Item = Step>> StepSource for PlainSteps<I> {}
+
 #[derive(Debug, Clone, Copy)]
 struct WinEntry {
     /// Decoded (and subset-remapped) coordinate, cached at window fill.
@@ -88,8 +126,17 @@ pub struct UnitCursor<'a> {
     /// Channel this unit's control packets ride on.
     pub channel: u32,
     pub port: Port,
-    steps: Box<dyn Iterator<Item = Step> + Send + 'a>,
+    steps: Box<dyn StepSource + Send + 'a>,
     peeked: Option<Step>,
+    /// Remaining pulls covered by the source's current run hint (entries
+    /// that share `hint_key` without needing a comparison).
+    hint_left: u64,
+    /// Window key of the hinted run's first entry.
+    hint_key: u64,
+    /// All current window entries share (channel, rank, bank group,
+    /// direction) — maintained incrementally on push/pop; always equal to
+    /// [`UnitCursor::window_scope_uniform`] over the live window.
+    win_uniform: bool,
     /// In-order AGEN output awaiting issue; the PIM's memory sequencer may
     /// issue any of these out of order (a small FR-FCFS-like window that a
     /// 20-deep pipeline implies; Ramulator's controller reorders the same
@@ -153,12 +200,48 @@ impl<'a> UnitCursor<'a> {
         burst_window: u64,
         subset: Option<SubsetRemap>,
     ) -> Self {
+        Self::from_source(
+            label,
+            channel,
+            port,
+            PlainSteps(steps),
+            start,
+            compute_cycles_per_block,
+            simd_ops_per_block,
+            pipeline_depth,
+            launch_slots,
+            launch_latency,
+            burst_window,
+            subset,
+        )
+    }
+
+    /// [`UnitCursor::new`] over a hint-capable [`StepSource`] (the
+    /// streaming kernel path, whose span program promises whole runs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_source(
+        label: &'static str,
+        channel: u32,
+        port: Port,
+        steps: impl StepSource + Send + 'a,
+        start: u64,
+        compute_cycles_per_block: u64,
+        simd_ops_per_block: u64,
+        pipeline_depth: usize,
+        launch_slots: u64,
+        launch_latency: u64,
+        burst_window: u64,
+        subset: Option<SubsetRemap>,
+    ) -> Self {
         Self {
             label,
             channel,
             port,
             steps: Box::new(steps),
             peeked: None,
+            hint_left: 0,
+            hint_key: 0,
+            win_uniform: true,
             window: VecDeque::with_capacity(8),
             window_cap: (pipeline_depth / 2).clamp(1, 8),
             gen_clock: start,
@@ -215,7 +298,17 @@ impl<'a> UnitCursor<'a> {
     /// Move consecutive Access steps into the reorder window, charging the
     /// (serial) AGEN for each generated address. A Launch is a barrier.
     fn fill_window(&mut self, mapping: &XorMapping) {
+        let scope = scope_mask(mapping);
         while self.window.len() < self.window_cap {
+            // Ask the source for a run hint before pulling a fresh step;
+            // the run's first entry computes and anchors the window key,
+            // followers reuse it. The subset remap mixes address parities
+            // into the coordinate, so hints are only honored without one.
+            let mut run_first = false;
+            if self.hint_left == 0 && self.peeked.is_none() && self.subset.is_none() {
+                self.hint_left = self.steps.run_hint().max(1);
+                run_first = true;
+            }
             match self.peek() {
                 Some(Step::Access { pa, write, cat, agen_iters, compute }) => {
                     self.peeked = None;
@@ -237,9 +330,39 @@ impl<'a> UnitCursor<'a> {
                         "unit '{}' issued a cross-channel access (pa {pa:#x})",
                         self.label
                     );
-                    let key = (coord.bank_index(mapping.geometry()) as u64) << 33
-                        | (coord.row as u64) << 1
-                        | write as u64;
+                    let computed_key = || {
+                        (coord.bank_index(mapping.geometry()) as u64) << 33
+                            | (coord.row as u64) << 1
+                            | write as u64
+                    };
+                    let hinted = !run_first && self.hint_left > 0;
+                    let key = if hinted {
+                        debug_assert_eq!(
+                            self.hint_key,
+                            computed_key(),
+                            "unit '{}': run hint promised a shared window key (pa {pa:#x})",
+                            self.label
+                        );
+                        self.hint_key
+                    } else {
+                        computed_key()
+                    };
+                    if self.hint_left > 0 {
+                        self.hint_left -= 1;
+                        self.hint_key = key;
+                    }
+                    // Incremental scope-uniformity: a push into a uniform
+                    // window stays uniform iff the new entry matches any
+                    // resident entry's scope bits (transitivity). The back
+                    // entry need not be the hinted run's predecessor (it
+                    // may have been removed), so hinted entries compare
+                    // like any other.
+                    match self.window.back() {
+                        None => self.win_uniform = true,
+                        Some(b) => {
+                            self.win_uniform = self.win_uniform && (key ^ b.key) & scope == 0;
+                        }
+                    }
                     self.window.push_back(WinEntry {
                         coord,
                         write,
@@ -249,9 +372,23 @@ impl<'a> UnitCursor<'a> {
                         key,
                     });
                 }
-                _ => break,
+                _ => {
+                    self.hint_left = 0;
+                    break;
+                }
             }
         }
+    }
+
+    /// Remove window entry `ix`, restoring the uniformity flag when the
+    /// departure of a mismatched entry makes the remainder uniform again.
+    #[inline]
+    fn take_entry(&mut self, ix: usize, scope: u64) -> WinEntry {
+        let e = self.window.remove(ix).expect("window entry");
+        if !self.win_uniform {
+            self.win_uniform = self.window_scope_uniform(scope) || self.window.is_empty();
+        }
+        e
     }
 
     pub fn is_done(&mut self) -> bool {
@@ -322,8 +459,13 @@ impl<'a> UnitCursor<'a> {
         // (see [`UnitCursor::window_scope_uniform`]).
         let base_nb = self.not_before.max(self.launch_avail);
         let mut best_ix = 0;
+        debug_assert_eq!(
+            self.win_uniform,
+            self.window_scope_uniform(scope_mask(mapping)),
+            "incremental uniformity flag out of sync"
+        );
         let front_wins = allow_front
-            && self.window_scope_uniform(scope_mask(mapping))
+            && self.win_uniform
             && self.window.front().is_some_and(|e| ts.row_open(&e.coord));
         if !front_wins {
             let mut best_t = u64::MAX;
@@ -356,7 +498,7 @@ impl<'a> UnitCursor<'a> {
                 }
             }
         }
-        let e = self.window.remove(best_ix).expect("window entry");
+        let e = self.take_entry(best_ix, scope_mask(mapping));
         let nb = self.issue_nb(e.gen_ready);
         let kind = if e.write { CasKind::Write } else { CasKind::Read };
         let bt = ts.access(e.coord, kind, self.port, nb);
@@ -436,7 +578,7 @@ impl<'a> UnitCursor<'a> {
     /// traffic, refresh, or global-time trace is active. Under it, a
     /// steady row-hit run may stream arbitrarily far ahead of other units'
     /// scheduler turns: the FR-FCFS selection is provably the front entry
-    /// (see [`UnitCursor::window_scope_uniform`]), the closed-form CAS
+    /// (see `UnitCursor::window_scope_uniform`), the closed-form CAS
     /// cadence of [`TimingState::access_run_with`] is exact, and same-row
     /// CAS commands read and write only the unit's own bank and datapath
     /// stamps — so commits from other (lagging) units cannot change them,
@@ -467,11 +609,11 @@ impl<'a> UnitCursor<'a> {
             // front goes back through the exact probe scan (another bank's
             // earlier precharge could win), and its PRE/ACT must order
             // against other units' rank state at its scheduler turn.
-            if !self.window_scope_uniform(scope) || !ts.row_open(&front.coord) {
+            debug_assert_eq!(self.win_uniform, self.window_scope_uniform(scope));
+            if !self.win_uniform || !ts.row_open(&front.coord) {
                 return;
             }
-            let e0 = *front;
-            self.window.pop_front();
+            let e0 = self.take_entry(0, scope);
             let kind = if e0.write { CasKind::Write } else { CasKind::Read };
             let nb = self.issue_nb(e0.gen_ready);
             let mut cur = e0;
@@ -484,10 +626,10 @@ impl<'a> UnitCursor<'a> {
                 // follower is a closed-form hit); any boundary returns to
                 // the outer loop, and a row/bank change from there to the
                 // exact per-block path.
-                if front.key != cur.key || !self.window_scope_uniform(scope) {
+                if front.key != cur.key || !self.win_uniform {
                     return None;
                 }
-                cur = self.window.pop_front().expect("checked front");
+                cur = self.take_entry(0, scope);
                 let nb = self.issue_nb(cur.gen_ready);
                 Some((cur.coord, nb))
             });

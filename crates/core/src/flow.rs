@@ -14,14 +14,16 @@
 //! 3. **Reduction** — partial `C` copies are merged over the channel.
 
 use crate::config::{AgenMode, SystemConfig};
-use crate::engine::{run_phase_auto, Step, SubsetRemap, TrafficCursor, UnitCursor};
+use crate::engine::{
+    run_phase_auto, PlainSteps, Step, StepSource, SubsetRemap, TrafficCursor, UnitCursor,
+};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::agen::Spans;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{
-    GroupAnalysis, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
-    StepStoneAgen, XorMapping, BLOCK_BYTES,
+    AgenSpan, GroupAnalysis, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
+    SpanProgram, StepStoneAgen, XorMapping, BLOCK_BYTES, BLOCK_SHIFT,
 };
 use stepstone_dram::{CommandBus, Port, TimingState, TrafficSource};
 use stepstone_pim::{
@@ -276,24 +278,47 @@ impl GemmContext {
         match agen {
             AgenMode::Naive => WalkCursor::Naive(NaiveAgen::new(cs, self.layout.base, self.layout.end())),
             AgenMode::StepStone(rules) => {
-                let mut a = StepStoneAgen::with_rules(cs, self.layout.base, self.layout.end(), rules);
-                if uncached_corrector {
-                    a = a.use_uncached_corrector();
-                }
-                WalkCursor::Spanned { spans: a.spans(), cur: 0, remaining: 0, first_iters: 0 }
+                let a = StepStoneAgen::with_rules(cs, self.layout.base, self.layout.end(), rules);
+                let spans = if uncached_corrector {
+                    // Seed baseline: live walk with the per-candidate
+                    // corrector, no span-program cache.
+                    SpanSource::Live(a.use_uncached_corrector().spans())
+                } else {
+                    SpanSource::Program(a.span_program())
+                };
+                WalkCursor::Spanned { spans, cur: 0, remaining: 0, first_iters: 0 }
             }
+        }
+    }
+}
+
+/// The span generator behind a [`WalkCursor`]: the cached periodic
+/// [`SpanProgram`] on the production path, the plain live generator for the
+/// frozen seed baseline.
+pub enum SpanSource {
+    Program(SpanProgram),
+    Live(Spans),
+}
+
+impl SpanSource {
+    #[inline]
+    fn next(&mut self) -> Option<AgenSpan> {
+        match self {
+            SpanSource::Program(p) => p.next(),
+            SpanSource::Live(s) => s.next(),
         }
     }
 }
 
 /// A lazy (pa, AGEN iterations) cursor over one Algorithm-1 cell.
 ///
-/// The StepStone variant pulls batched [`stepstone_addr::agen::AgenSpan`]
-/// runs and unrolls them with a span counter, so the GF(2) corrector runs
-/// once per run instead of once per block.
+/// The StepStone variant pulls batched [`stepstone_addr::AgenSpan`] runs —
+/// replayed from the periodic span-program cache on the production path —
+/// and unrolls them with a span counter, so the GF(2) corrector runs at
+/// most once per run instead of once per block.
 pub enum WalkCursor {
     Naive(NaiveAgen),
-    Spanned { spans: Spans, cur: u64, remaining: u64, first_iters: u32 },
+    Spanned { spans: SpanSource, cur: u64, remaining: u64, first_iters: u32 },
 }
 
 impl WalkCursor {
@@ -314,6 +339,30 @@ impl WalkCursor {
                 *remaining -= 1;
                 let iters = if *first_iters != 0 { std::mem::take(first_iters) } else { 1 };
                 Some((pa, iters))
+            }
+        }
+    }
+
+    /// Whole-run hint for the engine: how many upcoming blocks (including
+    /// the next) are contiguous with coordinates differing only in the
+    /// column — i.e. the rest of the current span, when every varying
+    /// address bit is column-pure under the mapping. 1 = no promise.
+    #[inline]
+    pub fn run_hint(&self, col_pure_mask: u64) -> u64 {
+        match self {
+            WalkCursor::Naive(_) => 1,
+            WalkCursor::Spanned { cur, remaining, .. } => {
+                if *remaining <= 1 {
+                    return 1;
+                }
+                let last = *cur + (*remaining - 1) * BLOCK_BYTES;
+                let top = 63 - (*cur ^ last).leading_zeros();
+                let varying = (1u64 << (top + 1)) - (1u64 << BLOCK_SHIFT);
+                if varying & !col_pure_mask == 0 {
+                    *remaining
+                } else {
+                    1
+                }
             }
         }
     }
@@ -380,6 +429,8 @@ pub struct KernelStream<'a> {
     queued: Option<Step>,
     /// Use the seed-era uncached GF(2) corrector (benchmark baseline).
     uncached_agen: bool,
+    /// PA bits that only move the column coordinate (run-hint guard).
+    col_pure: u64,
 }
 
 impl<'a> KernelStream<'a> {
@@ -428,6 +479,7 @@ impl<'a> KernelStream<'a> {
             last_row: usize::MAX,
             queued: None,
             uncached_agen: false,
+            col_pure: ctx.mapping.column_pure_mask(),
         }
     }
 
@@ -560,6 +612,19 @@ impl Iterator for KernelStream<'_> {
                 KernelStage::Done => return None,
             }
         }
+    }
+}
+
+impl StepSource for KernelStream<'_> {
+    /// Promise the rest of the current AGEN span to the engine when it is
+    /// a same-key contiguous run (Gemm stage, non-eCHO, column-pure
+    /// variation only) — the span program's replayed runs surface here as
+    /// whole-run window fills.
+    fn run_hint(&self) -> u64 {
+        if self.stage != KernelStage::Gemm || self.echo || self.queued.is_some() {
+            return 1;
+        }
+        self.walk.as_ref().map_or(1, |w| w.run_hint(self.col_pure))
     }
 }
 
@@ -711,19 +776,19 @@ pub fn simulate_pow2_gemm_exec(
     let remap = subset_remap(&ctx, sys, opts);
     let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
         .map(|pix| {
-            let steps: Box<dyn Iterator<Item = Step> + Send> = match mode {
+            let steps: Box<dyn StepSource + Send> = match mode {
                 ExecMode::Streaming => Box::new(KernelStream::new(&ctx, sys, opts, pix)),
                 ExecMode::Materialized => {
-                    Box::new(build_kernel_program_for(&ctx, sys, opts, pix).into_iter())
+                    Box::new(PlainSteps(build_kernel_program_for(&ctx, sys, opts, pix).into_iter()))
                 }
-                ExecMode::MaterializedSeedAgen => Box::new(
+                ExecMode::MaterializedSeedAgen => Box::new(PlainSteps(
                     KernelStream::new(&ctx, sys, opts, pix)
                         .with_seed_agen()
                         .collect::<Vec<_>>()
                         .into_iter(),
-                ),
+                )),
             };
-            let mut u = UnitCursor::new(
+            let mut u = UnitCursor::from_source(
                 "pim",
                 ctx.pim_channel(ctx.active_pims[pix]),
                 opts.level_cfg.port(),

@@ -94,9 +94,15 @@ pub fn region_blocks(
     let cs = pim_region_constraints(mapping, level, pim);
     // PIM-ID bits can involve high address bits (row-bit taps), so a PIM's
     // first local block may sit megabytes past `base`; walk unbounded and
-    // take what is needed — the AGEN skips in O(ID bits) per step.
+    // take what is needed — the AGEN skips in O(ID bits) per step, and the
+    // span-program cache replays the periodic walk structure.
     let end = base + (1u64 << 40);
-    StepStoneAgen::new(cs, base, end).take(count as usize).map(|s| s.pa).collect()
+    StepStoneAgen::new(cs, base, end)
+        .span_program()
+        .steps()
+        .take(count as usize)
+        .map(|s| s.pa)
+        .collect()
 }
 
 #[cfg(test)]

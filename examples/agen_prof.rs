@@ -1,0 +1,203 @@
+//! Profiling harness: generation-only cost of the kernel step streams
+//! (AGEN walks, span programs, region cursors) plus isolated phase/timing
+//! micro-costs — the companion to `phase_time` (whole phases) and
+//! `sim_loop` (steady-state repeated simulations).
+//!
+//! Usage: `cargo run --release --example agen_prof [M K N]`.
+
+use std::time::Instant;
+use stepstone_addr::PimLevel;
+use stepstone_core::flow::{GemmContext, KernelStream};
+use stepstone_core::{GemmSpec, SimOptions, SystemConfig};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (m, k, n) = if args.len() == 3 { (args[0], args[1], args[2]) } else { (512, 512, 32) };
+    let sys = SystemConfig::default();
+    let spec = GemmSpec::new(m, k, n);
+    let opts = SimOptions::stepstone(PimLevel::BankGroup);
+    let t0 = Instant::now();
+    let ctx = GemmContext::build(&sys, &spec, &opts);
+    println!("ctx build: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Full kernel stream generation (all steps, all PIMs).
+    let t0 = Instant::now();
+    let mut steps = 0u64;
+    for pix in 0..ctx.active_pims.len() {
+        steps += KernelStream::new(&ctx, &sys, &opts, pix).count() as u64;
+    }
+    let el = t0.elapsed();
+    println!(
+        "kernel stream gen: {:.1} ms  {:.1} ns/step ({steps} steps)",
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / steps as f64
+    );
+
+    // AGEN walks alone (the production span-program path, per block).
+    let t0 = Instant::now();
+    let mut walks = 0u64;
+    let mut blocks = 0u64;
+    for &pim in ctx.active_pims.iter() {
+        for grp in 0..ctx.ga.n_groups() {
+            if !ctx.ga.is_admissible(pim, grp) {
+                continue;
+            }
+            for rpart in 0..ctx.plan.rparts {
+                for cpart in 0..ctx.plan.cparts {
+                    let mut w = ctx.walk_stream(sys.agen, pim, grp, rpart, cpart);
+                    while w.next().is_some() {
+                        blocks += 1;
+                    }
+                    walks += 1;
+                }
+            }
+        }
+    }
+    let el = t0.elapsed();
+    println!(
+        "agen walks (per-block): {:.1} ms  {:.1} ns/block ({blocks} blocks, {walks} walks)",
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / blocks as f64
+    );
+
+    // Span-level count.
+    use stepstone_addr::groups::partition_constraints;
+    use stepstone_addr::StepStoneAgen;
+    let t0 = Instant::now();
+    let mut spans = 0u64;
+    let mut walks = 0u64;
+    for &pim in ctx.active_pims.iter() {
+        for grp in 0..ctx.ga.n_groups() {
+            if !ctx.ga.is_admissible(pim, grp) {
+                continue;
+            }
+            for rpart in 0..ctx.plan.rparts {
+                for cpart in 0..ctx.plan.cparts {
+                    let mut cs = ctx.ga.constraints_for(pim, grp);
+                    cs.extend(partition_constraints(
+                        ctx.layout.mrow_mask(),
+                        ctx.plan.rparts,
+                        rpart,
+                    ));
+                    cs.extend(partition_constraints(
+                        ctx.layout.mcol_mask(),
+                        ctx.plan.cparts,
+                        cpart,
+                    ));
+                    spans += StepStoneAgen::new(cs, ctx.layout.base, ctx.layout.end())
+                        .spans()
+                        .count() as u64;
+                    walks += 1;
+                }
+            }
+        }
+    }
+    let el = t0.elapsed();
+    println!(
+        "agen spans: {:.1} ms  {:.1} ns/span ({spans} spans, {walks} walks)",
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / spans as f64
+    );
+
+    // Region cursor cost: full iteration of every B and C region plan.
+    let t0 = Instant::now();
+    let mut region_blocks = 0u64;
+    let mut acc = 0u64;
+    for r in ctx.b_regions.iter().chain(ctx.c_regions.iter()) {
+        for pa in r.iter() {
+            acc ^= pa;
+            region_blocks += 1;
+        }
+    }
+    let el = t0.elapsed();
+    println!(
+        "region iter: {:.1} ms  {:.1} ns/block ({region_blocks} blocks, acc {acc:x})",
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / region_blocks as f64
+    );
+
+    // Step-mix decomposition of the kernel stream: count steps per phase.
+    use stepstone_core::Phase;
+    let t0 = Instant::now();
+    let mut by_cat = [0u64; 8];
+    let mut launches = 0u64;
+    for pix in 0..ctx.active_pims.len() {
+        for s in KernelStream::new(&ctx, &sys, &opts, pix) {
+            match s {
+                stepstone_core::engine::Step::Access { cat, .. } => by_cat[cat.index()] += 1,
+                stepstone_core::engine::Step::Launch => launches += 1,
+            }
+        }
+    }
+    let el = t0.elapsed();
+    println!(
+        "stream mix ({:.1} ms): gemm {} fillB {} fillC {} drainC {} launch {launches}",
+        el.as_secs_f64() * 1e3,
+        by_cat[Phase::Gemm.index()],
+        by_cat[Phase::FillB.index()],
+        by_cat[Phase::FillC.index()],
+        by_cat[Phase::DrainC.index()],
+    );
+
+    // Raw timing-model cost: interleaved region writes (the localization
+    // pattern) through probe+access, no engine.
+    use stepstone_dram::{CasKind, Port, TimingState};
+    let mut ts = TimingState::new(sys.dram);
+    let iters: Vec<_> = (0..ctx.active_pims.len())
+        .filter(|&pix| ctx.pim_channel(ctx.active_pims[pix]) == 0)
+        .map(|pix| ctx.b_regions[pix].iter())
+        .collect();
+    let mut streams: Vec<_> = iters;
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    let mut t = 0u64;
+    'outer: loop {
+        let mut any = false;
+        for s in streams.iter_mut() {
+            if let Some(pa) = s.next() {
+                any = true;
+                let c = ctx.mapping.decode(pa);
+                let p = ts.probe(c, CasKind::Write, Port::Channel, t);
+                let bt = ts.access(c, CasKind::Write, Port::Channel, t);
+                t = bt.cas_at;
+                n += 2;
+                let _ = p;
+            }
+        }
+        if !any {
+            break 'outer;
+        }
+    }
+    let el = t0.elapsed();
+    println!(
+        "raw probe+access (loc pattern): {:.1} ms  {:.1} ns/op ({n} ops)",
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / n as f64
+    );
+
+    // The real localization phase, serial engine, timed alone.
+    use stepstone_core::engine::run_phase;
+    use stepstone_core::flow::transfer_cursors;
+    use stepstone_dram::CommandBus;
+    for round in 0..2 {
+        let mut ts = TimingState::new(sys.dram);
+        let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
+        let mut loc = transfer_cursors(
+            &ctx,
+            &ctx.b_regions,
+            true,
+            Phase::Localization,
+            0,
+            sys.localization.inter_block_gap(),
+        );
+        let t0 = Instant::now();
+        run_phase(&mut ts, &mut bus, &ctx.mapping, &mut loc, None);
+        let el = t0.elapsed();
+        let blocks = ts.stats.accesses();
+        println!(
+            "loc run_phase[{round}]: {:.1} ms  {:.1} ns/blk ({blocks} blocks)",
+            el.as_secs_f64() * 1e3,
+            el.as_nanos() as f64 / blocks as f64
+        );
+    }
+}

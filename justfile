@@ -10,7 +10,11 @@ test:
 clippy:
     cargo clippy --workspace --all-targets -q -- -D warnings
 
-# Build + test + clippy + bench-smoke (the merge gate).
+# Warning-free API docs (rustdoc lints are errors).
+doc:
+    make doc
+
+# Build + test + clippy + doc + bench-smoke (the merge gate).
 ci:
     make ci
 
