@@ -1,6 +1,6 @@
 # Developer entry points. `just` users: see justfile (same targets).
 
-.PHONY: build test clippy doc ci bench-smoke bench-paper
+.PHONY: build test clippy doc matrix ci bench-smoke bench-paper
 
 build:
 	cargo build --release
@@ -15,9 +15,17 @@ clippy:
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-# The merge gate for perf-relevant changes: build, test, lint, docs, and
-# validate BENCH_sim.json on the quick shape.
-ci: build test clippy doc bench-smoke
+# The engine equivalence matrix ({parallel} x {trace} x {fast path} vs the
+# frozen seed) and the window-successor differential suite, release-mode —
+# the all-or-nothing gating paths the debug run also covers, minus the
+# debug_assert slowdown on the larger shapes.
+matrix:
+	cargo test --release -p stepstone-bench --test engine_matrix -q
+	cargo test --release -p stepstone-addr --test window_successor -q
+
+# The merge gate for perf-relevant changes: build, test, lint, docs,
+# equivalence matrix, and validate BENCH_sim.json on the committed shape.
+ci: build test clippy doc matrix bench-smoke
 	@echo "ci: all gates green"
 
 # Build release and run the simulator hot-path bench at the *paper scale*
@@ -54,8 +62,16 @@ cshare=csp['agen_ns_per_span']/csp['seed_ns_per_block']; \
 assert share<=1.15*cshare, \
 'agen_ns_per_span regressed >15%%: %.1f ns/span (%.3f of seed ns/block) vs committed %.1f (%.3f)' \
 % (sp['agen_ns_per_span'], share, csp['agen_ns_per_span'], cshare); \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f)' \
-% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop'], sp['agen_ns_per_span'], share, 1.15*cshare))"
+ac=d['agen_counters']; cac=c['agen_counters']; \
+assert ac['boundary_successors']<=1.10*cac['boundary_successors']+16, \
+'paper-scale live boundary successors regressed: %d vs committed %d (window successor broken?)' \
+% (ac['boundary_successors'], cac['boundary_successors']); \
+assert ac['window_jumps']>0 and ac['skeleton_hits']>0, 'window successor inactive at paper scale'; \
+wsp=sp['boundary_successors']; cwsp=csp['boundary_successors']; \
+assert wsp<=1.10*cwsp+16, \
+'sub-paper warm boundary successors regressed: %d vs committed %d' % (wsp, cwsp); \
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps)' \
+% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop'], sp['agen_ns_per_span'], share, 1.15*cshare, ac['boundary_successors'], ac['window_jumps']))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

@@ -35,7 +35,7 @@ use crate::geometry::BLOCK_BYTES;
 use crate::gf2::Gf2System;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// `parity(pa & mask) == parity` must hold for a block to be emitted.
@@ -274,6 +274,157 @@ fn corrector_tables(cs: &[ParityConstraint], p_max: u32, rules: AgenRules) -> Ar
     t
 }
 
+/// The window-level (gate-row) view of a constraint system at a fixed
+/// pivot: everything needed to enumerate the *nonempty* aligned
+/// `2^pivot`-byte windows arithmetically, without visiting the empty ones.
+///
+/// Echelon-reducing the constraints' low masks (`mask ∧ (2^pivot − 1)`)
+/// leaves zero rows: sets `S` of constraints whose low parts cancel. For
+/// an aligned window `W` the folded requirement of such a row is a pure
+/// *window* constraint — `parity(W ∧ ⊕_{i∈S} maskᵢ) = ⊕_{i∈S} parityᵢ`
+/// (the XOR of the masks has no bits below the pivot). A window is
+/// nonempty **iff every gate row holds**: the non-zero echelon rows are
+/// always solvable inside the window, and parity is GF(2)-linear in the
+/// mask, so consistency of the in-window system is exactly the
+/// conjunction of the gate rows. Pure-high constraints are the simplest
+/// gates (singleton `S`); the echelon generalizes them to combinations.
+///
+/// The next nonempty window after `w` is then the successor query of the
+/// gate system *at window granularity* — the same prepared-level scan as
+/// the block-level corrector, but starting at the pivot instead of
+/// `BLOCK_SHIFT`, so the sub-pivot levels (the bulk of the 28-level live
+/// scan at paper scale) are never touched. Everything here is mask-only
+/// (parities enter per-walk through [`WindowTables::gate_rhs`]), so one
+/// table set is shared by every cell of a shape via [`window_tables`].
+#[derive(Debug)]
+struct WindowTables {
+    /// Per gate row: (window-bit parity mask, source-constraint bitmask).
+    gates: Vec<(u64, u32)>,
+    /// Gate corrector levels indexed by `p - pivot` for `p` in
+    /// `pivot..=top`.
+    levels: Vec<PreparedLevel>,
+    pivot: u32,
+    top: u32,
+    /// Bytes over which no gate bit changes: all windows of one aligned
+    /// `run_bytes` chunk agree on nonemptiness (`u64::MAX` when the gate
+    /// system is empty — every window is nonempty).
+    run_bytes: u64,
+}
+
+impl WindowTables {
+    fn build(cs: &[ParityConstraint], pivot: u32, p_max: u32) -> Self {
+        let lvl = PreparedLevel::prepare(cs, pivot);
+        let gates: Vec<(u64, u32)> = lvl
+            .zero_rows
+            .iter()
+            .map(|&src| {
+                let mut mask = 0u64;
+                for (i, c) in cs.iter().enumerate() {
+                    if src >> i & 1 == 1 {
+                        mask ^= c.mask;
+                    }
+                }
+                debug_assert_eq!(mask & ((1u64 << pivot) - 1), 0, "gate rows are pure-high");
+                (mask, src)
+            })
+            .collect();
+        let gate_cs: Vec<ParityConstraint> =
+            gates.iter().map(|&(mask, _)| ParityConstraint { mask, parity: false }).collect();
+        let top = p_max.max(pivot);
+        let levels = (pivot..=top).map(|p| PreparedLevel::prepare(&gate_cs, p)).collect();
+        let union: u64 = gates.iter().fold(0, |u, g| u | g.0);
+        let run_bytes = if union == 0 { u64::MAX } else { 1 << union.trailing_zeros() };
+        Self { gates, levels, pivot, top, run_bytes }
+    }
+
+    /// Fold a walk's packed constraint parities into per-gate RHS bits.
+    fn gate_rhs(&self, parity_bits: u32) -> u32 {
+        let mut rhs = 0u32;
+        for (g, &(_, src)) in self.gates.iter().enumerate() {
+            rhs |= ((parity_bits & src).count_ones() & 1) << g;
+        }
+        rhs
+    }
+
+    /// Do all gate rows hold at aligned window base `w`?
+    fn satisfied(&self, w: u64, gate_rhs: u32) -> bool {
+        self.gates
+            .iter()
+            .enumerate()
+            .all(|(g, &(mask, _))| (w & mask).count_ones() & 1 == gate_rhs >> g & 1)
+    }
+
+    /// Smallest aligned window base `> w` whose gate system holds, or
+    /// `None` when no later window is nonempty. Mirrors
+    /// [`StepStoneAgen::successor`] at window granularity.
+    fn next_window(&self, w: u64, gate_rhs: u32) -> Option<u64> {
+        let wb = 1u64 << self.pivot;
+        let cand = w + wb;
+        if self.satisfied(cand, gate_rhs) {
+            return Some(cand);
+        }
+        let mut best: Option<u64> = None;
+        for p in self.pivot..=self.top {
+            let base = ((w >> p) + 1) << p;
+            if let Some(b) = best {
+                if base >= b {
+                    break;
+                }
+            }
+            let mut rhs_bits = 0u32;
+            for (g, &(mask, _)) in self.gates.iter().enumerate() {
+                let prefix = (base & mask).count_ones() & 1;
+                rhs_bits |= ((gate_rhs >> g & 1) ^ prefix) << g;
+            }
+            let Some(fix) = self.levels[(p - self.pivot) as usize].min_solution(rhs_bits) else {
+                continue;
+            };
+            let cand = base | fix;
+            debug_assert!(cand > w);
+            debug_assert_eq!(cand & (wb - 1), 0, "gate fixes stay window-aligned");
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Exclusive end of the contiguous nonempty-window run containing the
+    /// gate-satisfying window `w`.
+    fn run_end(&self, w: u64) -> u64 {
+        if self.run_bytes == u64::MAX {
+            u64::MAX
+        } else {
+            (w / self.run_bytes + 1) * self.run_bytes
+        }
+    }
+}
+
+/// Distinct (mask sequence, pivot, level range) window-table entries kept
+/// process-wide; beyond the cap, tables are built privately per walk.
+const WINDOW_CACHE_CAP: usize = 1024;
+
+type WindowKey = (Vec<u64>, u32, u32);
+
+fn window_cache() -> &'static Mutex<HashMap<WindowKey, Arc<WindowTables>>> {
+    static CACHE: OnceLock<Mutex<HashMap<WindowKey, Arc<WindowTables>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Shared window tables for a constraint system (see [`WindowTables`]).
+fn window_tables(cs: &[ParityConstraint], pivot: u32, p_max: u32) -> Arc<WindowTables> {
+    let key: WindowKey = (cs.iter().map(|c| c.mask).collect(), pivot, p_max);
+    let mut cache = window_cache().lock().expect("window cache poisoned");
+    if let Some(t) = cache.get(&key) {
+        return Arc::clone(t);
+    }
+    let t = Arc::new(WindowTables::build(cs, pivot, p_max));
+    if cache.len() < WINDOW_CACHE_CAP {
+        cache.insert(key, Arc::clone(&t));
+    }
+    t
+}
+
 /// The StepStone increment-correct-and-check generator.
 #[derive(Debug, Clone)]
 pub struct StepStoneAgen {
@@ -410,6 +561,34 @@ impl StepStoneAgen {
             }
         }
         best
+    }
+
+    /// Iterations the live [`StepStoneAgen::successor`] charges for the
+    /// step from `x` to its (already known) successor `y`, reconstructed
+    /// arithmetically — no corrector solve.
+    ///
+    /// The live scan first tries the plain increment (`y == x + 64` costs 1
+    /// iteration), then produces `y` at every level `p` whose carry chain
+    /// is intact — `((x >> p) + 1) << p` equals `y`'s prefix, i.e. every
+    /// bit of `[p, p*)` (`p*` = highest differing bit) is 1 in `x` and 0 in
+    /// `y` — and keeps the *first* (lowest) producing level, whose unit
+    /// count it charges. The window-level successor uses this to replay a
+    /// window's first span without running the scan; exactness against the
+    /// live walk is pinned by the differential suite in
+    /// `tests/window_successor.rs`.
+    fn boundary_iters(&self, x: u64, y: u64) -> u32 {
+        debug_assert!(y > x);
+        if y == x + BLOCK_BYTES {
+            return 1;
+        }
+        let p_star = 63 - (x ^ y).leading_zeros();
+        let chain_broken = (!x | y) & ((1u64 << p_star) - 1) & !(BLOCK_BYTES - 1);
+        let p_min = if chain_broken == 0 {
+            crate::geometry::BLOCK_SHIFT
+        } else {
+            64 - chain_broken.leading_zeros()
+        };
+        self.iterations_for(p_min)
     }
 
     /// The seed-era corrector: build and solve a fresh GF(2) system.
@@ -569,6 +748,68 @@ pub fn span_cache_resident_spans() -> usize {
     span_program_cache().cached_spans.load(Ordering::Relaxed)
 }
 
+/// Process-wide [`SpanProgram`] event totals (bench/test hook): how the
+/// A-walk's spans were produced and what each window boundary cost. Every
+/// program flushes its per-walk counters here on drop, so a whole
+/// simulation can be audited after the fact — `bench_sim` records these so
+/// the smoke gate can tell a cache regression from host noise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AgenCounters {
+    /// Spans produced by the live generator (cold windows, range edges).
+    pub live_spans: u64,
+    /// Spans replayed from cached skeletons (incl. window-first spans
+    /// synthesized by the window successor).
+    pub replayed_spans: u64,
+    /// Window boundaries crossed arithmetically via the gate-row window
+    /// successor (no corrector scan).
+    pub window_jumps: u64,
+    /// Window boundaries crossed by a full live successor scan.
+    pub boundary_successors: u64,
+    /// Skeleton-cache lookups that hit (window replayed).
+    pub skeleton_hits: u64,
+    /// Skeleton-cache lookups that missed (window walked live/recorded).
+    pub skeleton_misses: u64,
+}
+
+#[derive(Default)]
+struct GlobalAgenCounters {
+    live_spans: AtomicU64,
+    replayed_spans: AtomicU64,
+    window_jumps: AtomicU64,
+    boundary_successors: AtomicU64,
+    skeleton_hits: AtomicU64,
+    skeleton_misses: AtomicU64,
+}
+
+fn global_agen_counters() -> &'static GlobalAgenCounters {
+    static C: OnceLock<GlobalAgenCounters> = OnceLock::new();
+    C.get_or_init(GlobalAgenCounters::default)
+}
+
+/// Snapshot the process-wide AGEN counters (see [`AgenCounters`]).
+pub fn agen_counters() -> AgenCounters {
+    let c = global_agen_counters();
+    AgenCounters {
+        live_spans: c.live_spans.load(Ordering::Relaxed),
+        replayed_spans: c.replayed_spans.load(Ordering::Relaxed),
+        window_jumps: c.window_jumps.load(Ordering::Relaxed),
+        boundary_successors: c.boundary_successors.load(Ordering::Relaxed),
+        skeleton_hits: c.skeleton_hits.load(Ordering::Relaxed),
+        skeleton_misses: c.skeleton_misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the process-wide AGEN counters (bench/test hook).
+pub fn reset_agen_counters() {
+    let c = global_agen_counters();
+    c.live_spans.store(0, Ordering::Relaxed);
+    c.replayed_spans.store(0, Ordering::Relaxed);
+    c.window_jumps.store(0, Ordering::Relaxed);
+    c.boundary_successors.store(0, Ordering::Relaxed);
+    c.skeleton_hits.store(0, Ordering::Relaxed);
+    c.skeleton_misses.store(0, Ordering::Relaxed);
+}
+
 /// A [`StepStoneAgen`] span stream that caches and replays the A-walk
 /// periodically — identical output to [`StepStoneAgen::spans`], with the
 /// GF(2) corrector running once per *window state* instead of once per
@@ -620,10 +861,39 @@ pub struct SpanProgram {
     cur_window: u64,
     replay: Option<(Arc<Vec<SkelSpan>>, usize)>,
     recording: Option<(u32, Vec<SkelSpan>)>,
+    /// Gate-row window-successor tables plus this walk's folded gate RHS
+    /// (`None` when replay is disabled).
+    wtables: Option<(Arc<WindowTables>, u32)>,
+    /// `cur_window`'s contiguous nonempty-window run extends to here; the
+    /// next window before this bound is nonempty without a gate query.
+    win_run_end: u64,
+    /// The current window's span skeleton is fully consumed, so the next
+    /// span starts in a *later* window and the window successor may jump.
+    at_boundary: bool,
     /// Spans produced by the live generator (stats/test hook).
     pub live_spans: u64,
     /// Spans replayed from a cached skeleton (stats/test hook).
     pub replayed_spans: u64,
+    /// Window boundaries crossed arithmetically (gate-row successor).
+    pub window_jumps: u64,
+    /// Window boundaries crossed by a full live successor scan.
+    pub boundary_successors: u64,
+    /// Skeleton-cache hits (windows replayed instead of walked).
+    pub skeleton_hits: u64,
+    /// Skeleton-cache misses (windows walked live and recorded).
+    pub skeleton_misses: u64,
+}
+
+impl Drop for SpanProgram {
+    fn drop(&mut self) {
+        let c = global_agen_counters();
+        c.live_spans.fetch_add(self.live_spans, Ordering::Relaxed);
+        c.replayed_spans.fetch_add(self.replayed_spans, Ordering::Relaxed);
+        c.window_jumps.fetch_add(self.window_jumps, Ordering::Relaxed);
+        c.boundary_successors.fetch_add(self.boundary_successors, Ordering::Relaxed);
+        c.skeleton_hits.fetch_add(self.skeleton_hits, Ordering::Relaxed);
+        c.skeleton_misses.fetch_add(self.skeleton_misses, Ordering::Relaxed);
+    }
 }
 
 impl SpanProgram {
@@ -673,6 +943,17 @@ impl SpanProgram {
         } else {
             (Arc::new(SharedSkeletons::default()), false)
         };
+        let wtables = if enabled {
+            // The corrector tables' level range already covers every bit
+            // the walk can visit; the gate scan shares that ceiling.
+            let p_max =
+                crate::geometry::BLOCK_SHIFT + agen.tables.levels.len() as u32 - 1;
+            let wt = window_tables(&agen.cs, pivot, p_max);
+            let rhs = wt.gate_rhs(parity_bits);
+            Some((wt, rhs))
+        } else {
+            None
+        };
         Self {
             agen,
             enabled,
@@ -685,8 +966,19 @@ impl SpanProgram {
             cur_window: u64::MAX,
             replay: None,
             recording: None,
+            wtables,
+            win_run_end: 0,
+            // A window-aligned start has no partial prefix window, so the
+            // walk may enter its very first window through the window
+            // successor (the common case for naturally aligned layouts —
+            // at paper scale this removes the last live scan per walk).
+            at_boundary: enabled && start.is_multiple_of(window_bytes),
             live_spans: 0,
             replayed_spans: 0,
+            window_jumps: 0,
+            boundary_successors: 0,
+            skeleton_hits: 0,
+            skeleton_misses: 0,
         }
     }
 
@@ -778,6 +1070,73 @@ impl SpanProgram {
     fn lookup(&self, state: u32) -> Option<Arc<Vec<SkelSpan>>> {
         self.shared.by_state.lock().expect("skeleton map poisoned").get(&state).cloned()
     }
+
+    /// Cross the consumed-window boundary arithmetically: enumerate the
+    /// next nonempty aligned window from the gate-row system and replay
+    /// its cached skeleton — *including* the window's first span, whose
+    /// live-successor iteration charge is reconstructed by
+    /// [`StepStoneAgen::boundary_iters`]. Returns `None` (deferring to the
+    /// live walk) for the clipped tail, for a cold (unrecorded) window
+    /// state, or when no nonempty window remains.
+    fn window_jump(&mut self) -> Option<AgenSpan> {
+        let (wt, gate_rhs) = match &self.wtables {
+            Some((wt, rhs)) => (Arc::clone(wt), *rhs),
+            None => return None,
+        };
+        let next_w = if self.cur_window == u64::MAX {
+            // Walk start (window-aligned, so no partial prefix): the first
+            // nonempty window at or after `start`.
+            if wt.satisfied(self.start, gate_rhs) {
+                self.win_run_end = wt.run_end(self.start);
+                self.start
+            } else {
+                let w2 = wt.next_window(self.start, gate_rhs)?;
+                self.win_run_end = wt.run_end(w2);
+                w2
+            }
+        } else {
+            let cand = self.cur_window + self.window_bytes;
+            if cand < self.win_run_end {
+                cand
+            } else {
+                let w2 = wt.next_window(self.cur_window, gate_rhs)?;
+                self.win_run_end = wt.run_end(w2);
+                w2
+            }
+        };
+        if next_w + self.window_bytes > self.agen.end {
+            return None;
+        }
+        let state = self.state_of(next_w);
+        let skel = self.lookup(state)?;
+        self.skeleton_hits += 1;
+        let s0 = skel[0];
+        let pa = next_w + s0.off as u64 * BLOCK_BYTES;
+        let len = s0.len as u64;
+        // The windows skipped over are empty (their gate rows fail), so
+        // `pa` is the true successor of the previous span's last address —
+        // or, before the first emission, the walk's first address (which
+        // the live generator charges a single check when it is `start`
+        // itself).
+        let iterations = if !self.agen.started && pa == self.agen.last_pa {
+            1
+        } else {
+            self.agen.boundary_iters(self.agen.last_pa, pa)
+        };
+        self.agen.started = true;
+        self.cur_window = next_w;
+        self.agen.last_pa = pa + (len - 1) * BLOCK_BYTES;
+        self.agen.cur = 0;
+        self.agen.span_end = 0;
+        self.window_jumps += 1;
+        self.replayed_spans += 1;
+        if skel.len() > 1 {
+            self.replay = Some((skel, 1));
+        } else {
+            self.at_boundary = true;
+        }
+        Some(AgenSpan { start_pa: pa, len, iterations })
+    }
 }
 
 impl Iterator for SpanProgram {
@@ -798,6 +1157,17 @@ impl Iterator for SpanProgram {
                 return Some(AgenSpan { start_pa: pa, len, iterations: s.iters });
             }
             self.replay = None;
+            // The replayed window is fully consumed: the next span starts
+            // in a later window, which the gate system can locate without
+            // a live corrector scan.
+            self.at_boundary = true;
+        }
+        if self.at_boundary {
+            self.at_boundary = false;
+            debug_assert!(self.recording.is_none(), "boundary implies no open recording");
+            if let Some(span) = self.window_jump() {
+                return Some(span);
+            }
         }
         let Some(span) = self.live_next() else {
             // The walk ran off the end of the range: whatever window was
@@ -809,17 +1179,22 @@ impl Iterator for SpanProgram {
         if self.enabled {
             let w = span.start_pa & !(self.window_bytes - 1);
             if w != self.cur_window {
+                self.boundary_successors += 1;
                 self.flush_recording();
                 self.cur_window = w;
                 if self.window_in_range(w) {
                     let state = self.state_of(w);
                     if let Some(skel) = self.lookup(state) {
+                        self.skeleton_hits += 1;
                         debug_assert_eq!(w + skel[0].off as u64 * BLOCK_BYTES, span.start_pa);
                         debug_assert_eq!(skel[0].len as u64, span.len);
                         if skel.len() > 1 {
                             self.replay = Some((skel, 1));
+                        } else {
+                            self.at_boundary = true;
                         }
                     } else {
+                        self.skeleton_misses += 1;
                         // The walk enters a fully-in-range window at its
                         // first satisfying address, so recording from here
                         // captures the whole skeleton.

@@ -457,6 +457,65 @@ mod tests {
     }
 
     #[test]
+    fn offset_table_builds_only_when_period_fits_region() {
+        // A single bit-9 constraint: period 1 KiB = 16 blocks, 8 satisfying
+        // per period. The offset table exists iff per_period <= len — the
+        // boundary the doc comment promises (a region smaller than its
+        // pattern would pay more select() descents building the table than
+        // it saves).
+        let cs = vec![ParityConstraint { mask: 1 << 9, parity: false }];
+        for (len, expect_table) in [(7u64, false), (8, true), (9, true)] {
+            let plan = RegionPlan::carve(cs.clone(), 0, len);
+            assert_eq!(plan.per_period, 8, "8 of 16 blocks satisfy a single parity");
+            let base = plan.resident_words();
+            let via_iter: Vec<u64> = plan.iter().collect();
+            let via_get: Vec<u64> = (0..len).map(|i| plan.get(i)).collect();
+            assert_eq!(via_iter, via_get, "len {len}");
+            let grew = plan.resident_words() > base;
+            assert_eq!(
+                grew, expect_table,
+                "len {len}: offset table built iff per_period <= len"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_table_cap_boundary_at_16ki_residues() {
+        // Single constraint at bit h: per_period = 2^(h-6). h = 20 sits
+        // exactly at the 16 Ki cap (table built); h = 21 overflows it
+        // (cursors keep the per-run descent). Both must agree with
+        // indexed select() everywhere we sample.
+        for (h, expect_table) in [(20u32, true), (21, false)] {
+            let cs = vec![ParityConstraint { mask: 1 << h, parity: true }];
+            let plan = RegionPlan::carve(cs.clone(), 0, PERIOD_CACHE_CAP * 4);
+            assert_eq!(plan.per_period, 1 << (h - 6));
+            let base = plan.resident_words();
+            // Sample the iterator across several periods (full iteration at
+            // this size is slow in debug builds); compare against select().
+            let mut it = plan.iter();
+            for ix in 0..plan.len() {
+                let a = it.next().expect("cursor in range");
+                if ix % 997 == 0 || ix < 4 {
+                    assert_eq!(a, plan.get(ix), "h {h} ix {ix}");
+                }
+            }
+            assert!(it.next().is_none());
+            assert_eq!(
+                plan.resident_words() > base,
+                expect_table,
+                "h {h}: cap is {PERIOD_CACHE_CAP} residues"
+            );
+            if expect_table {
+                assert_eq!(
+                    plan.resident_words() - base,
+                    plan.per_period,
+                    "table holds one offset per residue"
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "unsatisfiable")]
     fn unsatisfiable_carve_panics() {
         let cs = vec![

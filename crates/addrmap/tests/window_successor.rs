@@ -1,0 +1,205 @@
+//! Differential suite for the window-level AGEN successor (PR 5).
+//!
+//! The span program now crosses consumed-window boundaries arithmetically:
+//! the gate-row (pure-high) parity subsystem enumerates the next *nonempty*
+//! aligned window, and the cached skeleton replays from its first span,
+//! with the live successor's iteration charge reconstructed from the
+//! address pair alone. Every path must stay step-for-step identical to the
+//! live [`StepStoneAgen`] walk — including the `iterations` field, which
+//! encodes the corrector cost the timing model charges.
+//!
+//! Coverage called out by the ISSUE: random gate-row systems, degenerate
+//! (empty/unsatisfiable/oversized) systems, aperiodic high-bit systems,
+//! sub-window ranges, unaligned arenas, and multi-period ranges.
+
+use proptest::prelude::*;
+use stepstone_addr::agen::{AgenRules, AgenSpan, AgenStep, ParityConstraint, StepStoneAgen};
+
+/// Assert window-enumeration ⊕ span-replay equals the live walk
+/// span-for-span and step-for-step, cold and warm (the warm pass runs the
+/// window successor against skeletons the cold pass recorded).
+fn assert_program_exact(cs: &[ParityConstraint], start: u64, end: u64, rules: AgenRules) {
+    let live: Vec<AgenSpan> =
+        StepStoneAgen::with_rules(cs.to_vec(), start, end, rules).spans().collect();
+    let cold: Vec<AgenSpan> = StepStoneAgen::with_rules(cs.to_vec(), start, end, rules)
+        .span_program()
+        .collect();
+    assert_eq!(live, cold, "cold program diverged (start {start:#x} end {end:#x})");
+    let mut warm_prog =
+        StepStoneAgen::with_rules(cs.to_vec(), start, end, rules).span_program();
+    let warm: Vec<AgenSpan> = warm_prog.by_ref().collect();
+    assert_eq!(live, warm, "warm program diverged (start {start:#x} end {end:#x})");
+    // Per-block view, through the warm cache (window jumps included).
+    let live_steps: Vec<AgenStep> =
+        StepStoneAgen::with_rules(cs.to_vec(), start, end, rules).collect();
+    let prog_steps: Vec<AgenStep> =
+        StepStoneAgen::with_rules(cs.to_vec(), start, end, rules).span_program().steps().collect();
+    assert_eq!(live_steps, prog_steps, "per-block stream diverged");
+}
+
+/// Build a constraint from a set of bit positions.
+fn con(bits: &[u32], parity: bool) -> ParityConstraint {
+    ParityConstraint { mask: bits.iter().fold(0u64, |m, &b| m | 1 << b), parity }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Random small-bit systems over multi-window ranges: the core
+    // differential property.
+    #[test]
+    fn random_systems_replay_exactly(
+        seed in any::<u64>(),
+        n_cons in 1usize..5,
+        start_blk in 0u64..48,
+        range_bits in 13u32..17,
+        instant in any::<bool>(),
+        carry in any::<bool>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 16 };
+        let cs: Vec<ParityConstraint> = (0..n_cons)
+            .map(|_| {
+                let mut mask = 0u64;
+                for _ in 0..1 + next() % 3 {
+                    mask |= 1 << (6 + next() % 16); // bits 6..22
+                }
+                ParityConstraint { mask, parity: next() & 1 == 1 }
+            })
+            .collect();
+        let start = start_blk * 64;
+        let end = start + (1u64 << range_bits) + (next() % 64) * 64;
+        let rules = AgenRules { instant_correction: instant, carry_forwarding: carry };
+        assert_program_exact(&cs, start, end, rules);
+    }
+
+    // Systems with deliberate pure-high rows — the gate-heavy regime
+    // where most windows are empty and the window successor skips them.
+    #[test]
+    fn gate_heavy_systems_replay_exactly(
+        seed in any::<u64>(),
+        hi_bits in 1u32..3,
+        start_blk in 0u64..16,
+    ) {
+        let mut s = seed | 1;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 16 };
+        let mut cs = vec![
+            con(&[7, 9 + (next() % 3) as u32], next() & 1 == 1),
+        ];
+        for i in 0..hi_bits {
+            // Pure-high taps land at/above any plausible pivot.
+            cs.push(con(&[15 + 2 * i, 17 + (next() % 4) as u32 + 2 * i], next() & 1 == 1));
+        }
+        assert_program_exact(&cs, start_blk * 64, 1 << 20, AgenRules::default());
+    }
+
+    // Unaligned arenas and truncated ends across a multi-period range.
+    #[test]
+    fn unaligned_and_truncated_ranges_replay_exactly(
+        start_blk in 0u64..96,
+        tail_blks in 0u64..40,
+        parities in 0u32..8,
+    ) {
+        let cs = vec![
+            con(&[7, 10], parities & 1 == 1),
+            con(&[8, 13], parities & 2 != 0),
+            con(&[9, 15], parities & 4 != 0),
+        ];
+        let end = (1 << 17) + tail_blks * 64;
+        assert_program_exact(&cs, start_blk * 64, end, AgenRules::default());
+    }
+}
+
+#[test]
+fn degenerate_systems_stay_exact() {
+    // Empty system: one unbounded run, replay disabled.
+    assert_program_exact(&[], 0, 1 << 16, AgenRules::default());
+    // Unsatisfiable: empty walk either way.
+    let unsat = vec![con(&[8], true), con(&[8], false)];
+    assert_program_exact(&unsat, 0, 1 << 20, AgenRules::default());
+    // Oversized system (> 20 constraints): replay disabled, still exact.
+    let big: Vec<ParityConstraint> = (0..22).map(|i| con(&[7 + (i % 12) as u32], false)).collect();
+    assert_program_exact(&big, 0, 1 << 16, AgenRules::default());
+    // A gate row that folds to an unsatisfiable window constraint for every
+    // window: mask-cancelling pair with odd combined parity.
+    let gated_unsat = vec![con(&[7, 16], true), con(&[7, 16], false)];
+    assert_program_exact(&gated_unsat, 0, 1 << 20, AgenRules::default());
+}
+
+#[test]
+fn aperiodic_high_bit_systems_stay_exact() {
+    // A tap far above the range: the walk sees at most a couple of parity
+    // flips, and window states barely recur.
+    let cs = vec![con(&[7, 40], false), con(&[9, 11], true)];
+    assert_program_exact(&cs, 0, 1 << 16, AgenRules::default());
+    // Tap just above the range top.
+    let cs = vec![con(&[8, 21], true)];
+    assert_program_exact(&cs, 0, 1 << 20, AgenRules::default());
+}
+
+#[test]
+fn sub_window_ranges_fall_back_to_live() {
+    // Ranges shorter than one window must keep the live walk (and match).
+    let cs = vec![con(&[7, 12], true)];
+    for end_blk in [1u64, 2, 3, 7, 15] {
+        assert_program_exact(&cs, 0, end_blk * 64, AgenRules::default());
+    }
+    let p = StepStoneAgen::new(cs, 0, 128).span_program();
+    assert!(!p.replay_enabled());
+}
+
+#[test]
+fn warm_walks_cross_boundaries_arithmetically() {
+    // A gate-heavy system over many windows: the warm pass must cross
+    // in-range window boundaries via the gate-row successor (no live
+    // corrector scan), and the live successor count must collapse to the
+    // range edges.
+    let cs = vec![con(&[7, 9], true), con(&[16, 18], false), con(&[8, 17], true)];
+    let end = 1u64 << 20;
+    let cold: Vec<AgenSpan> =
+        StepStoneAgen::new(cs.clone(), 0, end).span_program().collect();
+    let mut warm = StepStoneAgen::new(cs.clone(), 0, end).span_program();
+    assert!(warm.replay_enabled());
+    let warm_spans: Vec<AgenSpan> = warm.by_ref().collect();
+    assert_eq!(cold, warm_spans);
+    assert!(
+        warm.window_jumps > 0,
+        "warm walk must cross boundaries via the window successor"
+    );
+    assert!(
+        warm.boundary_successors <= 2,
+        "live boundary scans must collapse to the range edges (got {})",
+        warm.boundary_successors
+    );
+    assert!(warm.skeleton_hits >= warm.window_jumps);
+    assert_eq!(warm.skeleton_misses, 0, "second pass must not re-record");
+}
+
+#[test]
+fn skeletons_shared_across_parities_stay_exact_with_jumps() {
+    // Walks that differ only in constraint parities share one skeleton
+    // store; later walks window-jump into skeletons earlier walks
+    // recorded, across disjoint residual states.
+    let masks: [&[u32]; 3] = [&[7, 13], &[8, 12], &[9, 16]];
+    for parity_bits in 0..8u32 {
+        let cs: Vec<ParityConstraint> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, bits)| con(bits, parity_bits >> i & 1 == 1))
+            .collect();
+        assert_program_exact(&cs, 0, 1 << 18, AgenRules::default());
+    }
+}
+
+#[test]
+fn multi_period_ranges_with_rules_variants_stay_exact() {
+    let cs = vec![con(&[7, 8, 11], true), con(&[9, 14], false)];
+    for rules in [
+        AgenRules::default(),
+        AgenRules::NONE,
+        AgenRules { instant_correction: true, carry_forwarding: false },
+        AgenRules { instant_correction: false, carry_forwarding: true },
+    ] {
+        assert_program_exact(&cs, 0, 1 << 18, rules);
+    }
+}

@@ -17,7 +17,12 @@
 //!   "subpaper": {"m":…, "k":…, "n":…, "cold_ns_per_block":…,
 //!                "warm_ns_per_block":…, "seed_ns_per_block":…,
 //!                "speedup_warm_vs_seed":…, "agen_ns_per_span":…,
+//!                "span_cache_hits":…, "span_cache_misses":…,
+//!                "boundary_successors":…, "window_jumps":…,
 //!                "cycle_exact": true},
+//!   "agen_counters": {"live_spans":…, "replayed_spans":…,
+//!                     "window_jumps":…, "boundary_successors":…,
+//!                     "skeleton_hits":…, "skeleton_misses":…},
 //!   "cycle_exact": true
 //! }
 //! ```
@@ -28,6 +33,12 @@
 //! the steady state of repeated layers — and `agen_ns_per_span` times the
 //! production span generator alone across every Algorithm-1 cell
 //! (best-of-N to damp host noise; regression-gated by `make bench-smoke`).
+//! Span-program *counters* (deterministic, unlike wall time) are recorded
+//! twice: `agen_counters` for the paper-scale streaming-serial run and the
+//! `subpaper` hit/miss/boundary fields for the warm span-generation pass —
+//! `make bench-smoke` gates the paper-scale `boundary_successors` count so
+//! a window-successor or skeleton-cache regression cannot hide in host
+//! noise.
 //!
 //! Usage: `bench_sim [--quick] [M K N]`. `--quick` (or
 //! `STEPSTONE_SCALE=quick`) runs a reduced shape for smoke tests.
@@ -136,10 +147,18 @@ fn main() {
             }),
         ),
     ];
+    // Per-run AGEN span-program counters; the streaming-serial run's are
+    // recorded in the JSON (deterministic: serial engine, warm cache).
+    let mut agen_paper = stepstone_addr::agen::AgenCounters::default();
     for (label, resident, sim) in cases {
+        stepstone_addr::agen::reset_agen_counters();
         let t0 = Instant::now();
         let report = sim();
         let wall_ns = t0.elapsed().as_nanos();
+        let counters = stepstone_addr::agen::agen_counters();
+        if label == "streaming-serial" {
+            agen_paper = counters;
+        }
         let blocks = report.dram.accesses();
         println!(
             "  {label:<18} {:>8.1} ms  {:>7.1} ns/block  ({blocks} blocks, {} sim cycles, \
@@ -148,6 +167,15 @@ fn main() {
             wall_ns as f64 / blocks as f64,
             report.total,
         );
+        if label != "seed-replay" {
+            println!(
+                "  {:<18} spans {} live / {} replayed; boundaries {} live / {} jumped; \
+                 skeletons {} hit / {} missed",
+                "", counters.live_spans, counters.replayed_spans,
+                counters.boundary_successors, counters.window_jumps,
+                counters.skeleton_hits, counters.skeleton_misses,
+            );
+        }
         runs.push(Run {
             mode: label,
             wall_ns,
@@ -205,6 +233,8 @@ fn main() {
          \"cold_ns_per_block\": {:.2}, \"warm_ns_per_block\": {:.2}, \
          \"seed_ns_per_block\": {:.2}, \"speedup_warm_vs_seed\": {:.3}, \
          \"agen_ns_per_span\": {:.2}, \"cache_resident_spans\": {}, \
+         \"span_cache_hits\": {}, \"span_cache_misses\": {}, \
+         \"boundary_successors\": {}, \"window_jumps\": {}, \
          \"cycle_exact\": {}}},",
         sp.m,
         sp.k,
@@ -215,7 +245,23 @@ fn main() {
         sp.seed_ns_per_block / sp.warm_ns_per_block,
         sp.agen_ns_per_span,
         sp.cache_resident_spans,
+        sp.agen.skeleton_hits,
+        sp.agen.skeleton_misses,
+        sp.agen.boundary_successors,
+        sp.agen.window_jumps,
         sp.cycle_exact,
+    );
+    let _ = writeln!(
+        json,
+        "  \"agen_counters\": {{\"live_spans\": {}, \"replayed_spans\": {}, \
+         \"window_jumps\": {}, \"boundary_successors\": {}, \
+         \"skeleton_hits\": {}, \"skeleton_misses\": {}}},",
+        agen_paper.live_spans,
+        agen_paper.replayed_spans,
+        agen_paper.window_jumps,
+        agen_paper.boundary_successors,
+        agen_paper.skeleton_hits,
+        agen_paper.skeleton_misses,
     );
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
@@ -234,6 +280,11 @@ struct SubPaper {
     /// Skeleton spans resident in the global span-program cache after the
     /// runs (bounded by its caps; the replay working set).
     cache_resident_spans: usize,
+    /// Span-program counters of the final (fully warm) span-generation
+    /// pass: cache hits/misses and how window boundaries were crossed.
+    /// Deterministic (serial loop), so the smoke gate can tell a cache or
+    /// window-successor regression from host noise.
+    agen: stepstone_addr::agen::AgenCounters,
     cycle_exact: bool,
 }
 
@@ -261,13 +312,17 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         && cold.dram.accesses() == seed.dram.accesses();
     assert!(cycle_exact, "sub-paper modes disagree on simulated cycles/blocks");
 
-    // Span generation alone, over every Algorithm-1 cell, best-of-5.
+    // Span generation alone, over every Algorithm-1 cell, best-of-5. The
+    // last pass's counters (fully warm: every window replayed, boundaries
+    // crossed by the window successor) go into the JSON.
     let ctx = GemmContext::build(sys, &spec, &opts);
     let mut best_ns_per_span = f64::MAX;
     let mut spans = 0u64;
+    let mut agen = stepstone_addr::agen::AgenCounters::default();
     for _ in 0..5 {
         let t0 = Instant::now();
         spans = 0;
+        stepstone_addr::agen::reset_agen_counters();
         for &pim in &ctx.active_pims {
             for grp in 0..ctx.ga.n_groups() {
                 if !ctx.ga.is_admissible(pim, grp) {
@@ -295,6 +350,7 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         }
         let ns = t0.elapsed().as_nanos() as f64 / spans.max(1) as f64;
         best_ns_per_span = best_ns_per_span.min(ns);
+        agen = stepstone_addr::agen::agen_counters();
     }
     let cache_resident_spans = stepstone_addr::agen::span_cache_resident_spans();
     println!(
@@ -306,6 +362,10 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         seed_ns / blocks,
         seed_ns / warm_ns,
     );
+    println!(
+        "  sub-paper agen (warm): {} hit / {} missed skeletons, boundaries {} live / {} jumped",
+        agen.skeleton_hits, agen.skeleton_misses, agen.boundary_successors, agen.window_jumps,
+    );
     SubPaper {
         m,
         k,
@@ -315,6 +375,7 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         seed_ns_per_block: seed_ns / blocks,
         agen_ns_per_span: best_ns_per_span,
         cache_resident_spans,
+        agen,
         cycle_exact,
     }
 }

@@ -1,0 +1,124 @@
+//! Engine equivalence matrix (PR 5): the frozen-seed suite under
+//! {parallel on/off} × {command trace on/off} × {span fast path on/off}.
+//!
+//! Each knob gates an all-or-nothing engine path that used to get only
+//! incidental coverage:
+//!
+//! * `parallel` — per-channel sharding with `TimingState`/`CommandBus`
+//!   adoption vs the serial min-heap scheduler;
+//! * `trace` — command tracing forces the serial engine *and* the exact
+//!   per-block FR-FCFS probe scan (trace order is part of the contract);
+//! * span fast path — the all-or-nothing whole-run streaming of
+//!   `UnitCursor::advance_batch`, forced off through the test-only
+//!   `engine::set_span_fast_path` knob so the exact probe path runs even
+//!   for exclusive-unit phases.
+//!
+//! Every combination must produce a `LatencyReport` identical to the
+//! frozen seed engine. The whole matrix runs inside one `#[test]` because
+//! the fast-path knob is process-global.
+
+use stepstone_addr::PimLevel;
+use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
+use stepstone_core::engine::set_span_fast_path;
+use stepstone_core::{
+    simulate_pow2_gemm_exec, ExecMode, GemmSpec, LatencyReport, SimOptions, SystemConfig,
+};
+
+fn assert_reports_equal(a: &LatencyReport, b: &LatencyReport, what: &str) {
+    assert_eq!(a.total, b.total, "{what}: total cycles");
+    assert_eq!(a.phase_cycles, b.phase_cycles, "{what}: phase attribution");
+    assert_eq!(a.dram, b.dram, "{what}: DRAM event counts");
+    assert_eq!(a.activity, b.activity, "{what}: activity counts");
+}
+
+/// The fast-path knob is process-global, so the two matrix tests must not
+/// interleave: each holds this lock for its whole run.
+fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restore the global fast-path knob even when an assertion panics, so a
+/// failure here cannot poison the other matrix test.
+struct FastPathGuard(bool);
+
+impl Drop for FastPathGuard {
+    fn drop(&mut self) {
+        set_span_fast_path(self.0);
+    }
+}
+
+#[test]
+fn matrix_parallel_trace_fastpath_match_frozen_seed() {
+    let _serial = knob_lock();
+    let _guard = FastPathGuard(set_span_fast_path(true));
+    let cases: &[(usize, usize, usize, &[PimLevel])] = &[
+        (128, 512, 2, &[PimLevel::BankGroup]),
+        (256, 1024, 4, &PimLevel::ALL),
+    ];
+    for &(m, k, n, levels) in cases {
+        let spec = GemmSpec::new(m, k, n);
+        for &level in levels {
+            let opts = SimOptions::stepstone(level);
+            let seed = simulate_pow2_gemm_seed(
+                &SystemConfig { parallel: false, ..SystemConfig::default() },
+                &spec,
+                &opts,
+            );
+            for parallel in [false, true] {
+                for trace in [false, true] {
+                    for fast in [false, true] {
+                        set_span_fast_path(fast);
+                        let sys = SystemConfig { parallel, trace, ..SystemConfig::default() };
+                        let got =
+                            simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                        set_span_fast_path(true);
+                        let what = format!(
+                            "{m}x{k} N={n} {level:?} parallel={parallel} trace={trace} fast={fast}"
+                        );
+                        assert_reports_equal(&got, &seed, &what);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_covers_subset_and_echo_program_shapes() {
+    // The subset remap (hints disabled, dropped ID bits) and eCHO
+    // (per-row launches) program shapes under the same three knobs,
+    // pinned against their own all-exact baseline.
+    let _serial = knob_lock();
+    let _guard = FastPathGuard(set_span_fast_path(true));
+    let spec = GemmSpec::new(512, 2048, 4);
+    for opts in [
+        SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
+        SimOptions::echo(PimLevel::BankGroup),
+    ] {
+        set_span_fast_path(false);
+        let baseline = simulate_pow2_gemm_exec(
+            &SystemConfig { parallel: false, trace: true, ..SystemConfig::default() },
+            &spec,
+            &opts,
+            None,
+            ExecMode::Streaming,
+        );
+        for parallel in [false, true] {
+            for trace in [false, true] {
+                for fast in [false, true] {
+                    set_span_fast_path(fast);
+                    let sys = SystemConfig { parallel, trace, ..SystemConfig::default() };
+                    let got =
+                        simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                    set_span_fast_path(true);
+                    let what = format!(
+                        "{:?} parallel={parallel} trace={trace} fast={fast}",
+                        opts.granularity
+                    );
+                    assert_reports_equal(&got, &baseline, &what);
+                }
+            }
+        }
+    }
+}

@@ -58,6 +58,9 @@ fn simulate_pei_pow2(
     };
     let ctx = GemmContext::build(sys, spec, &opts);
     let mut ts = TimingState::new(sys.dram);
+    if sys.trace {
+        ts.enable_trace();
+    }
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let mut report = LatencyReport::default();
     let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
@@ -173,6 +176,9 @@ fn simulate_ncho_pow2(
     let ctx = GemmContext::build(sys, spec, &opts);
     let cfg = PimLevelConfig::nominal(level);
     let mut ts = TimingState::new(sys.dram);
+    if sys.trace {
+        ts.enable_trace();
+    }
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let mut report = LatencyReport::default();
     let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));

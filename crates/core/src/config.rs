@@ -40,6 +40,10 @@ pub struct SystemConfig {
     /// Simulate independent channels in parallel (cycle-exact; disabled
     /// automatically when colocated traffic or command tracing is active).
     pub parallel: bool,
+    /// Record the DRAM command trace during simulations (diagnostics and
+    /// the equivalence test matrix). Tracing forces the serial engine and
+    /// the exact per-block scheduling path; reports must be unchanged.
+    pub trace: bool,
 }
 
 impl Default for SystemConfig {
@@ -54,6 +58,7 @@ impl Default for SystemConfig {
             buffer_base: 1 << 33,
             validate: false,
             parallel: true,
+            trace: false,
         }
     }
 }

@@ -17,8 +17,27 @@
 
 use crate::report::Phase;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use stepstone_addr::{DramCoord, XorMapping};
 use stepstone_dram::{CasKind, CommandBus, DramStats, Port, TimingState, TrafficSource};
+
+/// Process-wide override forcing the all-or-nothing span fast path off
+/// (see [`UnitCursor::advance_batch`]). Test-only: the equivalence matrix
+/// uses it to pin the exact per-block probe path under configurations that
+/// would otherwise always take the fast path — output must be identical
+/// either way.
+static SPAN_FAST_PATH_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Test-only knob: enable/disable the span fast path globally. Returns the
+/// previous setting so tests can restore it.
+pub fn set_span_fast_path(enabled: bool) -> bool {
+    !SPAN_FAST_PATH_DISABLED.swap(!enabled, Ordering::Relaxed)
+}
+
+/// Is the span fast path currently allowed?
+pub fn span_fast_path_enabled() -> bool {
+    !SPAN_FAST_PATH_DISABLED.load(Ordering::Relaxed)
+}
 
 /// One operation in a unit's program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -751,7 +770,8 @@ fn run_units(
     // leaving that bank's next_cas ahead of the other unit's own cadence
     // and breaking the "front row hit starts no later than any window
     // sibling" inference.
-    let fast = traffic.is_none()
+    let fast = span_fast_path_enabled()
+        && traffic.is_none()
         && !ts.config().refresh
         && !ts.trace_enabled()
         && units.iter().all(|u| u.exclusive);

@@ -284,7 +284,7 @@ impl GemmContext {
                     // corrector, no span-program cache.
                     SpanSource::Live(a.use_uncached_corrector().spans())
                 } else {
-                    SpanSource::Program(a.span_program())
+                    SpanSource::Program(Box::new(a.span_program()))
                 };
                 WalkCursor::Spanned { spans, cur: 0, remaining: 0, first_iters: 0 }
             }
@@ -296,7 +296,9 @@ impl GemmContext {
 /// [`SpanProgram`] on the production path, the plain live generator for the
 /// frozen seed baseline.
 pub enum SpanSource {
-    Program(SpanProgram),
+    /// Boxed: the span program carries window-successor state and counters,
+    /// and would otherwise dominate the `WalkCursor` enum's size.
+    Program(Box<SpanProgram>),
     Live(Spans),
 }
 
@@ -345,8 +347,12 @@ impl WalkCursor {
 
     /// Whole-run hint for the engine: how many upcoming blocks (including
     /// the next) are contiguous with coordinates differing only in the
-    /// column — i.e. the rest of the current span, when every varying
-    /// address bit is column-pure under the mapping. 1 = no promise.
+    /// column — i.e. the rest of the current span when every varying
+    /// address bit is column-pure under the mapping, and otherwise the
+    /// span's prefix up to the first boundary where a non-column bit
+    /// flips. Long replayed spans (window-granular runs straddling a row
+    /// or bank boundary) are thus promised chunk by chunk instead of not
+    /// at all. 1 = no promise.
     #[inline]
     pub fn run_hint(&self, col_pure_mask: u64) -> u64 {
         match self {
@@ -358,11 +364,16 @@ impl WalkCursor {
                 let last = *cur + (*remaining - 1) * BLOCK_BYTES;
                 let top = 63 - (*cur ^ last).leading_zeros();
                 let varying = (1u64 << (top + 1)) - (1u64 << BLOCK_SHIFT);
-                if varying & !col_pure_mask == 0 {
-                    *remaining
-                } else {
-                    1
+                let impure = varying & !col_pure_mask;
+                if impure == 0 {
+                    return *remaining;
                 }
+                // Addresses share every bit at or above the lowest impure
+                // varying bit until the next multiple of it, so the run up
+                // to that boundary still holds one window key.
+                let b = impure.trailing_zeros();
+                let boundary = ((*cur >> b) + 1) << b;
+                (boundary - *cur) / BLOCK_BYTES
             }
         }
     }
@@ -760,6 +771,9 @@ pub fn simulate_pow2_gemm_exec(
 ) -> LatencyReport {
     let ctx = GemmContext::build(sys, spec, opts);
     let mut ts = TimingState::new(sys.dram);
+    if sys.trace {
+        ts.enable_trace();
+    }
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let loc_mode = opts.localization.unwrap_or(sys.localization);
     let mut report = LatencyReport::default();

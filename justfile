@@ -14,7 +14,11 @@ clippy:
 doc:
     make doc
 
-# Build + test + clippy + doc + bench-smoke (the merge gate).
+# Engine equivalence matrix + window-successor differential suite.
+matrix:
+    make matrix
+
+# Build + test + clippy + doc + matrix + bench-smoke (the merge gate).
 ci:
     make ci
 
