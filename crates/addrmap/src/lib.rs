@@ -44,4 +44,4 @@ pub use layout::MatrixLayout;
 pub use mapping::{Field, XorMapping};
 pub use pimlevel::PimLevel;
 pub use presets::{mapping_by_id, MappingId};
-pub use region::{RegionIter, RegionPlan};
+pub use region::{KeyRuns, RegionIter, RegionPlan};

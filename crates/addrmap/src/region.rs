@@ -25,6 +25,7 @@
 
 use crate::agen::{satisfies, ParityConstraint, StepStoneAgen};
 use crate::geometry::{BLOCK_BYTES, BLOCK_SHIFT};
+use crate::mapping::XorMapping;
 use std::sync::OnceLock;
 
 /// Largest pattern for which [`RegionPlan`] builds the per-period offset
@@ -292,6 +293,61 @@ impl RegionPlan {
         self.iter().collect()
     }
 
+    /// Precompute the region's same-window-key run boundaries: maximal
+    /// stretches of *consecutive region blocks* whose DRAM coordinates
+    /// agree on everything but the column (same bank index and row — one
+    /// FR-FCFS window key). Returns `None` when the pattern is too large
+    /// to tabulate (`per_period > PERIOD_CACHE_CAP`).
+    ///
+    /// Correctness rests on two linearity facts. `select(m) = q·period +
+    /// off[m mod per_period]` with `period` a power of two and `off <
+    /// period`, so two blocks of the *same* period instance differ by
+    /// `off_i ^ off_j`. And the mapping's decode is XOR-linear
+    /// (`decode(a ^ b) = decode(a) ^ decode(b)` fieldwise), so their
+    /// non-column coordinates agree iff the non-column coordinates of
+    /// `decode(off_i)` and `decode(off_j)` agree — a per-residue property,
+    /// identical in every period instance. Period-instance boundaries
+    /// (where the `q·period` prefix changes) conservatively start a new
+    /// run. Multi-bit XOR differences routinely *cancel* in the
+    /// non-column fields, so runs here are much longer than any
+    /// single-bit column-purity test would predict.
+    pub fn key_runs(&self, mapping: &XorMapping) -> Option<KeyRuns> {
+        if self.per_period == 0 || self.per_period > PERIOD_CACHE_CAP {
+            return None;
+        }
+        let g = mapping.geometry();
+        let pp = self.per_period;
+        let mut starts = vec![0u64; pp.div_ceil(64) as usize];
+        let mut prev = (usize::MAX, u32::MAX);
+        for r in 0..pp {
+            let c = mapping.decode(self.select(r));
+            let k = (c.bank_index(g), c.row);
+            if k != prev {
+                starts[(r / 64) as usize] |= 1 << (r % 64);
+                prev = k;
+            }
+        }
+        // Residue 0 is always a start (new period instance).
+        starts[0] |= 1;
+        Some(KeyRuns { per_period: pp, starts })
+    }
+
+    /// Whether `other` provably shares this plan's [`RegionPlan::key_runs`]
+    /// table, so one tabulation can serve both. True when the cleaned
+    /// constraint *masks* coincide (parity targets may differ): the two
+    /// satisfying sets are then cosets of one GF(2) subspace, and the
+    /// ascending enumeration of a coset is the subspace's ascending
+    /// enumeration XOR-translated by the coset leader (echelon reduction
+    /// by the subspace basis is linear, and clearing the highest
+    /// reducible bit of each element greedily is exactly the numeric
+    /// minimum of its coset). A constant XOR shifts every decoded
+    /// coordinate fieldwise by one constant, so consecutive-block key
+    /// equality — hence every run boundary — is identical.
+    pub fn same_key_runs(&self, other: &RegionPlan) -> bool {
+        self.cs.len() == other.cs.len()
+            && self.cs.iter().zip(&other.cs).all(|(a, b)| a.mask == b.mask)
+    }
+
     /// Materialize the region with the *seed-era* `StepStoneAgen` walk —
     /// identical addresses, but the seed's generation cost. The frozen
     /// seed-replay baseline must pay the seed's price for region carving,
@@ -304,6 +360,43 @@ impl RegionPlan {
     }
 }
 
+/// Same-window-key run boundaries of a [`RegionPlan`], tabulated once per
+/// period residue (see [`RegionPlan::key_runs`]). Supports O(run/64)
+/// queries of "how many upcoming region blocks share the current block's
+/// (bank, row) window key" — the engine's run-hint oracle for region
+/// fills.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRuns {
+    per_period: u64,
+    /// Bitset over period residues: bit `r` set ⇔ a new same-key run
+    /// starts at residue `r`.
+    starts: Vec<u64>,
+}
+
+impl KeyRuns {
+    /// Number of consecutive region blocks sharing one window key,
+    /// starting at global satisfying-block index `m` (inclusive): the
+    /// distance from `m` to the next run boundary, clipped to the end of
+    /// `m`'s period instance.
+    pub fn run_len_from(&self, m: u64) -> u64 {
+        let r = m % self.per_period;
+        let mut w = (r / 64) as usize;
+        // The next start strictly after r: mask off bit r and below.
+        let mut bits = self.starts[w] & (!0u64).checked_shl((r % 64) as u32 + 1).unwrap_or(0);
+        loop {
+            if bits != 0 {
+                let s = (w as u64) * 64 + bits.trailing_zeros() as u64;
+                return s.min(self.per_period) - r;
+            }
+            w += 1;
+            if w >= self.starts.len() {
+                return self.per_period - r;
+            }
+            bits = self.starts[w];
+        }
+    }
+}
+
 /// Lazy cursor over a [`RegionPlan`]: one select() per contiguous run,
 /// plain block increments inside a run.
 #[derive(Debug, Clone)]
@@ -313,6 +406,29 @@ pub struct RegionIter<'a> {
     end: u64,
     /// Precomputed next address when it is a same-run increment.
     next_addr: Option<u64>,
+}
+
+impl<'a> RegionIter<'a> {
+    /// Global satisfying-block index of the *next* block this cursor will
+    /// yield — the index [`KeyRuns::run_len_from`] keys on.
+    #[inline]
+    pub fn pos_rank(&self) -> u64 {
+        self.plan.base_rank + self.ix
+    }
+
+    /// Skip the next `n` blocks in O(1) — no addresses are computed. The
+    /// next `next()` re-seeds from the plan's rank/select machinery.
+    #[inline]
+    pub fn skip_blocks(&mut self, n: u64) {
+        self.ix = (self.ix + n).min(self.end);
+        self.next_addr = None;
+    }
+
+    /// The plan this cursor walks (for key-run lookups by the consumer).
+    #[inline]
+    pub fn plan(&self) -> &'a RegionPlan {
+        self.plan
+    }
 }
 
 impl Iterator for RegionIter<'_> {
@@ -512,6 +628,132 @@ mod tests {
                     "table holds one offset per residue"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn key_runs_match_brute_force_key_scan() {
+        // The tabulated per-residue run boundaries must agree with a
+        // brute-force (bank, row) scan of the actual absolute addresses,
+        // across multiple period instances and for unaligned arenas (the
+        // base_rank offset shifts every residue).
+        let mut tabulable = 0u32;
+        for mapping_id in [MappingId::Skylake, MappingId::Haswell] {
+            let m = mapping_by_id(mapping_id);
+            let g = *m.geometry();
+            for level in [PimLevel::BankGroup, PimLevel::Device] {
+                for pim in [0u32, 3] {
+                    if pim >= level.pim_count(&g) {
+                        continue;
+                    }
+                    let cs = id_constraints(level, mapping_id, pim);
+                    let plan = RegionPlan::carve(cs, (1 << 33) + 4096, 6000);
+                    let Some(kr) = plan.key_runs(&m) else {
+                        assert!(
+                            plan.per_period > PERIOD_CACHE_CAP,
+                            "{mapping_id:?} {level:?}: None only above the tabulation cap"
+                        );
+                        continue;
+                    };
+                    tabulable += 1;
+                    let addrs = plan.to_vec();
+                    let key = |pa: u64| {
+                        let c = m.decode(pa);
+                        (c.bank_index(&g), c.row)
+                    };
+                    let mut ix = 0u64;
+                    while ix < plan.len() {
+                        let promised = kr.run_len_from(plan.base_rank + ix);
+                        assert!(promised >= 1);
+                        // Every promised follower shares the anchor's key.
+                        let run_end = (ix + promised).min(plan.len());
+                        for j in ix..run_end {
+                            assert_eq!(
+                                key(addrs[j as usize]),
+                                key(addrs[ix as usize]),
+                                "{mapping_id:?} {level:?} pim {pim}: block {j} breaks the \
+                                 promised run starting at {ix}"
+                            );
+                        }
+                        ix = run_end;
+                    }
+                    // The promises are also *maximal* within a period
+                    // instance: a run only ends at a real key change or an
+                    // instance boundary.
+                    let pp = plan.per_period;
+                    for ix in 1..plan.len().min(3000) {
+                        let m_ix = plan.base_rank + ix;
+                        if !m_ix.is_multiple_of(pp)
+                            && key(addrs[ix as usize]) == key(addrs[ix as usize - 1])
+                        {
+                            assert!(
+                                kr.run_len_from(m_ix - 1) >= 2,
+                                "{mapping_id:?} {level:?} pim {pim}: run split at {ix} \
+                                 without a key change"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(tabulable > 0, "no config exercised key_runs");
+    }
+
+    #[test]
+    fn key_runs_invariant_under_parity_targets() {
+        // Plans whose constraint masks coincide must produce identical
+        // run tables whatever the parity targets (the coset-leader
+        // translation argument behind `RegionPlan::same_key_runs`) —
+        // this is what lets GemmContext tabulate once per matrix instead
+        // of once per PIM.
+        let mut checked = 0u32;
+        for mapping_id in [MappingId::Skylake, MappingId::Haswell] {
+            let m = mapping_by_id(mapping_id);
+            let g = *m.geometry();
+            for level in [PimLevel::BankGroup, PimLevel::Device] {
+                let base = id_constraints(level, mapping_id, 0);
+                let Some(kr0) =
+                    RegionPlan::carve(base.clone(), 1 << 33, 4000).key_runs(&m)
+                else {
+                    continue;
+                };
+                for pim in 1..level.pim_count(&g).min(8) {
+                    let cs = id_constraints(level, mapping_id, pim);
+                    assert_eq!(cs.len(), base.len());
+                    let plan = RegionPlan::carve(cs, 1 << 33, 4000);
+                    assert!(plan.same_key_runs(&RegionPlan::carve(base.clone(), 1 << 33, 4000)));
+                    assert_eq!(
+                        plan.key_runs(&m),
+                        Some(kr0.clone()),
+                        "{mapping_id:?} {level:?} pim {pim}: parity targets changed the table"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no config exercised the invariance");
+    }
+
+    #[test]
+    fn skip_blocks_is_equivalent_to_pulling() {
+        let cs = id_constraints(PimLevel::BankGroup, MappingId::Skylake, 7);
+        let plan = RegionPlan::carve(cs, 1 << 33, 1000);
+        for (skip_at, n) in [(0u64, 5u64), (3, 1), (10, 64), (100, 900), (500, 10_000)] {
+            let mut a = plan.iter();
+            let mut b = plan.iter();
+            for _ in 0..skip_at {
+                a.next();
+                b.next();
+            }
+            for _ in 0..n {
+                a.next();
+            }
+            b.skip_blocks(n);
+            assert_eq!(a.pos_rank(), b.pos_rank(), "skip_at {skip_at} n {n}");
+            assert_eq!(a.len(), b.len());
+            let ra: Vec<u64> = a.collect();
+            let rb: Vec<u64> = b.collect();
+            assert_eq!(ra, rb, "skip_at {skip_at} n {n}");
         }
     }
 

@@ -23,6 +23,9 @@
 //!   "agen_counters": {"live_spans":…, "replayed_spans":…,
 //!                     "window_jumps":…, "boundary_successors":…,
 //!                     "skeleton_hits":…, "skeleton_misses":…},
+//!   "run_counters": {"runs":…, "run_blocks":…, "mean_run_len":…,
+//!                    "hist": […], "fallback": {"refresh":…, "row":…,
+//!                    "trace":…, "traffic":…, "other":…}},
 //!   "cycle_exact": true
 //! }
 //! ```
@@ -38,7 +41,12 @@
 //! `subpaper` hit/miss/boundary fields for the warm span-generation pass —
 //! `make bench-smoke` gates the paper-scale `boundary_successors` count so
 //! a window-successor or skeleton-cache regression cannot hide in host
-//! noise.
+//! noise. Run-granularity counters (PR 6) are recorded the same way:
+//! `run_counters` holds the paper-scale streaming-serial admission stats
+//! (runs, blocks-per-run histogram, per-block fallback splits by cause),
+//! the `subpaper` section its warm-run equivalent — both deterministic,
+//! both checked for serial/parallel agreement here and exact-match gated
+//! by `make bench-smoke`.
 //!
 //! Usage: `bench_sim [--quick] [M K N]`. `--quick` (or
 //! `STEPSTONE_SCALE=quick`) runs a reduced shape for smoke tests.
@@ -48,6 +56,7 @@ use std::time::Instant;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{PimLevel, StepStoneAgen};
 use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
+use stepstone_core::engine::{reset_run_counters, run_counters, RunCounters, FB_LABELS};
 use stepstone_core::flow::build_kernel_program_for;
 use stepstone_core::{
     simulate_pow2_gemm_exec, ExecMode, GemmContext, GemmSpec, LatencyReport, SimOptions,
@@ -150,14 +159,24 @@ fn main() {
     // Per-run AGEN span-program counters; the streaming-serial run's are
     // recorded in the JSON (deterministic: serial engine, warm cache).
     let mut agen_paper = stepstone_addr::agen::AgenCounters::default();
+    // Run-granularity counters per mode: streaming and streaming-serial
+    // must agree exactly (admission is engine-order independent); the
+    // serial run's stats go into the JSON.
+    let mut rc_paper = RunCounters::default();
+    let mut rc_parallel = RunCounters::default();
     for (label, resident, sim) in cases {
         stepstone_addr::agen::reset_agen_counters();
+        reset_run_counters();
         let t0 = Instant::now();
         let report = sim();
         let wall_ns = t0.elapsed().as_nanos();
         let counters = stepstone_addr::agen::agen_counters();
+        let rc = run_counters();
         if label == "streaming-serial" {
             agen_paper = counters;
+            rc_paper = rc;
+        } else if label == "streaming" {
+            rc_parallel = rc;
         }
         let blocks = report.dram.accesses();
         println!(
@@ -175,6 +194,14 @@ fn main() {
                 counters.boundary_successors, counters.window_jumps,
                 counters.skeleton_hits, counters.skeleton_misses,
             );
+            println!(
+                "  {:<18} runs {} admitted covering {} blocks (mean {:.1}); fallback {}",
+                "",
+                rc.runs,
+                rc.run_blocks,
+                rc.mean_run_len(),
+                fallback_summary(&rc),
+            );
         }
         runs.push(Run {
             mode: label,
@@ -184,6 +211,11 @@ fn main() {
             peak_resident_steps: resident,
         });
     }
+
+    assert_eq!(
+        rc_paper, rc_parallel,
+        "run-granularity counters disagree between serial and parallel engines"
+    );
 
     // ---- sub-paper-scale serving shape (Table-I batch GEMMs) ----
     let sp = subpaper_section(&sys, &serial_sys);
@@ -235,7 +267,7 @@ fn main() {
          \"agen_ns_per_span\": {:.2}, \"cache_resident_spans\": {}, \
          \"span_cache_hits\": {}, \"span_cache_misses\": {}, \
          \"boundary_successors\": {}, \"window_jumps\": {}, \
-         \"cycle_exact\": {}}},",
+         \"run_counters\": {}, \"cycle_exact\": {}}},",
         sp.m,
         sp.k,
         sp.n,
@@ -249,6 +281,7 @@ fn main() {
         sp.agen.skeleton_misses,
         sp.agen.boundary_successors,
         sp.agen.window_jumps,
+        run_counters_json(&sp.run_counters),
         sp.cycle_exact,
     );
     let _ = writeln!(
@@ -263,10 +296,45 @@ fn main() {
         agen_paper.skeleton_hits,
         agen_paper.skeleton_misses,
     );
+    let _ = writeln!(json, "  \"run_counters\": {},", run_counters_json(&rc_paper));
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("  [saved BENCH_sim.json]");
+}
+
+/// Human-readable fallback split, nonzero causes only.
+fn fallback_summary(c: &RunCounters) -> String {
+    let mut s = String::new();
+    for (i, label) in FB_LABELS.iter().enumerate() {
+        if c.fallback[i] > 0 {
+            let _ = write!(s, "{}{label}: {}", if s.is_empty() { "" } else { ", " }, c.fallback[i]);
+        }
+    }
+    if s.is_empty() {
+        s.push_str("none");
+    }
+    s
+}
+
+/// The run-granularity counters as a JSON object (deterministic; gated
+/// exact-match by `make bench-smoke`).
+fn run_counters_json(c: &RunCounters) -> String {
+    let hist: Vec<String> = c.hist.iter().map(|h| h.to_string()).collect();
+    let fallback: Vec<String> = FB_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, label)| format!("\"{label}\": {}", c.fallback[i]))
+        .collect();
+    format!(
+        "{{\"runs\": {}, \"run_blocks\": {}, \"mean_run_len\": {:.2}, \"hist\": [{}], \
+         \"fallback\": {{{}}}}}",
+        c.runs,
+        c.run_blocks,
+        c.mean_run_len(),
+        hist.join(", "),
+        fallback.join(", "),
+    )
 }
 
 struct SubPaper {
@@ -285,6 +353,9 @@ struct SubPaper {
     /// Deterministic (serial loop), so the smoke gate can tell a cache or
     /// window-successor regression from host noise.
     agen: stepstone_addr::agen::AgenCounters,
+    /// Run-granularity counters of the warm streaming run (deterministic,
+    /// exact-match gated like the agen counters).
+    run_counters: RunCounters,
     cycle_exact: bool,
 }
 
@@ -302,7 +373,9 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         (t0.elapsed().as_nanos() as f64, rep)
     };
     let (cold_ns, cold) = timed(sys);
+    reset_run_counters();
     let (warm_ns, warm) = timed(sys);
+    let rc = run_counters();
     let t0 = Instant::now();
     let seed = simulate_pow2_gemm_seed(serial_sys, &spec, &opts);
     let seed_ns = t0.elapsed().as_nanos() as f64;
@@ -366,6 +439,13 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         "  sub-paper agen (warm): {} hit / {} missed skeletons, boundaries {} live / {} jumped",
         agen.skeleton_hits, agen.skeleton_misses, agen.boundary_successors, agen.window_jumps,
     );
+    println!(
+        "  sub-paper runs (warm): {} admitted covering {} blocks (mean {:.1}); fallback {}",
+        rc.runs,
+        rc.run_blocks,
+        rc.mean_run_len(),
+        fallback_summary(&rc),
+    );
     SubPaper {
         m,
         k,
@@ -376,6 +456,7 @@ fn subpaper_section(sys: &SystemConfig, serial_sys: &SystemConfig) -> SubPaper {
         agen_ns_per_span: best_ns_per_span,
         cache_resident_spans,
         agen,
+        run_counters: rc,
         cycle_exact,
     }
 }

@@ -1,5 +1,6 @@
-//! Engine equivalence matrix (PR 5): the frozen-seed suite under
-//! {parallel on/off} × {command trace on/off} × {span fast path on/off}.
+//! Engine equivalence matrix (PR 5, extended in PR 6): the frozen-seed
+//! suite under {parallel on/off} × {command trace on/off} × {span fast
+//! path on/off} × {run-granular admission on/off}.
 //!
 //! Each knob gates an all-or-nothing engine path that used to get only
 //! incidental coverage:
@@ -11,7 +12,11 @@
 //! * span fast path — the all-or-nothing whole-run streaming of
 //!   `UnitCursor::advance_batch`, forced off through the test-only
 //!   `engine::set_span_fast_path` knob so the exact probe path runs even
-//!   for exclusive-unit phases.
+//!   for exclusive-unit phases;
+//! * run-granular — hinted runs admitted as single scheduling objects
+//!   (`StepSource::take_run` + synthesized followers + the closed-form
+//!   jump), forced off through `engine::set_run_granular` so every block
+//!   goes through a real source pull.
 //!
 //! Every combination must produce a `LatencyReport` identical to the
 //! frozen seed engine. The whole matrix runs inside one `#[test]` because
@@ -19,7 +24,9 @@
 
 use stepstone_addr::PimLevel;
 use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
-use stepstone_core::engine::set_span_fast_path;
+use stepstone_core::engine::{
+    reset_run_counters, run_counters, set_run_granular, set_span_fast_path,
+};
 use stepstone_core::{
     simulate_pow2_gemm_exec, ExecMode, GemmSpec, LatencyReport, SimOptions, SystemConfig,
 };
@@ -48,10 +55,21 @@ impl Drop for FastPathGuard {
     }
 }
 
+/// Same, for the run-granular admission knob.
+struct RunGranularGuard(bool);
+
+impl Drop for RunGranularGuard {
+    fn drop(&mut self) {
+        set_run_granular(self.0);
+    }
+}
+
 #[test]
 fn matrix_parallel_trace_fastpath_match_frozen_seed() {
     let _serial = knob_lock();
     let _guard = FastPathGuard(set_span_fast_path(true));
+    let _guard_rg = RunGranularGuard(set_run_granular(true));
+    let mut admitted = 0u64;
     let cases: &[(usize, usize, usize, &[PimLevel])] = &[
         (128, 512, 2, &[PimLevel::BankGroup]),
         (256, 1024, 4, &PimLevel::ALL),
@@ -68,29 +86,48 @@ fn matrix_parallel_trace_fastpath_match_frozen_seed() {
             for parallel in [false, true] {
                 for trace in [false, true] {
                     for fast in [false, true] {
-                        set_span_fast_path(fast);
-                        let sys = SystemConfig { parallel, trace, ..SystemConfig::default() };
-                        let got =
-                            simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
-                        set_span_fast_path(true);
-                        let what = format!(
-                            "{m}x{k} N={n} {level:?} parallel={parallel} trace={trace} fast={fast}"
-                        );
-                        assert_reports_equal(&got, &seed, &what);
+                        for rg in [false, true] {
+                            set_span_fast_path(fast);
+                            set_run_granular(rg);
+                            reset_run_counters();
+                            let sys =
+                                SystemConfig { parallel, trace, ..SystemConfig::default() };
+                            let got = simulate_pow2_gemm_exec(
+                                &sys,
+                                &spec,
+                                &opts,
+                                None,
+                                ExecMode::Streaming,
+                            );
+                            let c = run_counters();
+                            set_span_fast_path(true);
+                            set_run_granular(true);
+                            let what = format!(
+                                "{m}x{k} N={n} {level:?} parallel={parallel} trace={trace} \
+                                 fast={fast} rg={rg}"
+                            );
+                            assert_reports_equal(&got, &seed, &what);
+                            if !(rg && fast) {
+                                assert_eq!(c.runs, 0, "{what}: admission needs both knobs");
+                            }
+                            admitted += c.runs;
+                        }
                     }
                 }
             }
         }
     }
+    assert!(admitted > 0, "some matrix config admits hinted runs");
 }
 
 #[test]
 fn matrix_covers_subset_and_echo_program_shapes() {
     // The subset remap (hints disabled, dropped ID bits) and eCHO
-    // (per-row launches) program shapes under the same three knobs,
+    // (per-row launches) program shapes under the same four knobs,
     // pinned against their own all-exact baseline.
     let _serial = knob_lock();
     let _guard = FastPathGuard(set_span_fast_path(true));
+    let _guard_rg = RunGranularGuard(set_run_granular(true));
     let spec = GemmSpec::new(512, 2048, 4);
     for opts in [
         SimOptions::stepstone(PimLevel::BankGroup).with_subset(1),
@@ -107,16 +144,20 @@ fn matrix_covers_subset_and_echo_program_shapes() {
         for parallel in [false, true] {
             for trace in [false, true] {
                 for fast in [false, true] {
-                    set_span_fast_path(fast);
-                    let sys = SystemConfig { parallel, trace, ..SystemConfig::default() };
-                    let got =
-                        simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
-                    set_span_fast_path(true);
-                    let what = format!(
-                        "{:?} parallel={parallel} trace={trace} fast={fast}",
-                        opts.granularity
-                    );
-                    assert_reports_equal(&got, &baseline, &what);
+                    for rg in [false, true] {
+                        set_span_fast_path(fast);
+                        set_run_granular(rg);
+                        let sys = SystemConfig { parallel, trace, ..SystemConfig::default() };
+                        let got =
+                            simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                        set_span_fast_path(true);
+                        set_run_granular(true);
+                        let what = format!(
+                            "{:?} parallel={parallel} trace={trace} fast={fast} rg={rg}",
+                            opts.granularity
+                        );
+                        assert_reports_equal(&got, &baseline, &what);
+                    }
                 }
             }
         }

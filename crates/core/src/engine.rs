@@ -17,9 +17,9 @@
 
 use crate::report::Phase;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use stepstone_addr::{DramCoord, XorMapping};
-use stepstone_dram::{CasKind, CommandBus, DramStats, Port, TimingState, TrafficSource};
+use stepstone_dram::{CasKind, CommandBus, DramStats, Port, RunReply, TimingState, TrafficSource};
 
 /// Process-wide override forcing the all-or-nothing span fast path off
 /// (see [`UnitCursor::advance_batch`]). Test-only: the equivalence matrix
@@ -37,6 +37,123 @@ pub fn set_span_fast_path(enabled: bool) -> bool {
 /// Is the span fast path currently allowed?
 pub fn span_fast_path_enabled() -> bool {
     !SPAN_FAST_PATH_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Process-wide override forcing run-granular admission off: hinted runs
+/// then go through the exact per-block pull path even under the span fast
+/// path. Test-only, like [`set_span_fast_path`] — the differential suite
+/// pins it both ways and requires identical commands and cycles.
+static RUN_GRANULAR_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Test-only knob: enable/disable run-granular admission globally. Returns
+/// the previous setting so tests can restore it.
+pub fn set_run_granular(enabled: bool) -> bool {
+    !RUN_GRANULAR_DISABLED.swap(!enabled, Ordering::Relaxed)
+}
+
+/// Is run-granular admission currently allowed?
+pub fn run_granular_enabled() -> bool {
+    !RUN_GRANULAR_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Fallback-cause indices for [`RunStats::fallback`] /
+/// [`RunCounters::fallback`]: why a block went through the per-block pull
+/// path instead of riding an admitted run.
+pub const FB_REFRESH: usize = 0;
+pub const FB_ROW: usize = 1;
+pub const FB_TRACE: usize = 2;
+pub const FB_TRAFFIC: usize = 3;
+pub const FB_OTHER: usize = 4;
+
+/// Labels matching the `FB_*` indices (reporting convenience).
+pub const FB_LABELS: [&str; 5] = ["refresh", "row", "trace", "traffic", "other"];
+
+/// Per-unit run-granularity statistics, flushed into the process-wide
+/// [`run_counters`] once per phase (order-independent sums, so serial and
+/// per-channel-parallel engines report identical totals).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Hinted runs admitted as single scheduling objects.
+    pub runs: u64,
+    /// Blocks covered by admitted runs (anchors included).
+    pub run_blocks: u64,
+    /// log2-bucketed run-length histogram: bucket `i` counts admitted runs
+    /// of length `2^i ..= 2^(i+1) - 1`, saturating in the last bucket.
+    pub hist: [u64; 16],
+    /// Per-block fallback splits by cause (`FB_*` indices): blocks that
+    /// went through the per-block path, and why.
+    pub fallback: [u64; 5],
+}
+
+impl RunStats {
+    #[inline]
+    fn record_run(&mut self, len: u64) {
+        self.runs += 1;
+        self.run_blocks += len;
+        self.hist[(63 - len.leading_zeros() as usize).min(15)] += 1;
+    }
+}
+
+static G_RUNS: AtomicU64 = AtomicU64::new(0);
+static G_RUN_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static G_HIST: [AtomicU64; 16] = [const { AtomicU64::new(0) }; 16];
+static G_FALLBACK: [AtomicU64; 5] = [const { AtomicU64::new(0) }; 5];
+
+/// Process-wide snapshot of the run-granularity counters (see
+/// [`RunStats`] for field semantics). Deterministic for a fixed workload
+/// and engine configuration: admission decisions depend only on per-unit
+/// state, and the totals are commutative sums.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RunCounters {
+    pub runs: u64,
+    pub run_blocks: u64,
+    pub hist: [u64; 16],
+    pub fallback: [u64; 5],
+}
+
+impl RunCounters {
+    /// Mean admitted-run length in blocks (0 when nothing was admitted).
+    pub fn mean_run_len(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.run_blocks as f64 / self.runs as f64
+        }
+    }
+
+    /// Total per-block fallbacks across all causes.
+    pub fn fallback_blocks(&self) -> u64 {
+        self.fallback.iter().sum()
+    }
+}
+
+/// Zero the process-wide run counters (benchmark harnesses snapshot
+/// per-run deltas by resetting before each simulation).
+pub fn reset_run_counters() {
+    G_RUNS.store(0, Ordering::Relaxed);
+    G_RUN_BLOCKS.store(0, Ordering::Relaxed);
+    for h in &G_HIST {
+        h.store(0, Ordering::Relaxed);
+    }
+    for f in &G_FALLBACK {
+        f.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Read the process-wide run counters accumulated since the last reset.
+pub fn run_counters() -> RunCounters {
+    let mut c = RunCounters {
+        runs: G_RUNS.load(Ordering::Relaxed),
+        run_blocks: G_RUN_BLOCKS.load(Ordering::Relaxed),
+        ..RunCounters::default()
+    };
+    for (i, h) in G_HIST.iter().enumerate() {
+        c.hist[i] = h.load(Ordering::Relaxed);
+    }
+    for (i, f) in G_FALLBACK.iter().enumerate() {
+        c.fallback[i] = f.load(Ordering::Relaxed);
+    }
+    c
 }
 
 /// One operation in a unit's program.
@@ -86,23 +203,42 @@ impl SubsetRemap {
 /// A step-program source: an iterator plus an optional *run hint*.
 ///
 /// `run_hint` describes the steps about to be pulled: a return of `R > 1`
-/// promises that the next `R` items are `Step::Access`es over contiguous
-/// ascending block addresses whose DRAM coordinates differ only in the
-/// column — i.e. they share one `(bank, row, direction)` window key. The
-/// span program's replayed runs let [`crate::flow::KernelStream`] promise
-/// whole spans at once, so the reorder window can reuse the run's key and
-/// keep its uniformity flag without per-entry comparisons. Plain sources
-/// return 1 (no promise). The hint is purely an accelerator: entries still
-/// decode their own coordinates, and debug builds verify the promised key.
+/// promises that the next `R` items are `Step::Access`es whose DRAM
+/// coordinates differ only in the column — i.e. they share one
+/// `(bank, row, direction)` window key. The addresses need *not* be
+/// contiguous: XOR mappings interleave a run's columns across the mapping
+/// period, but the non-column decode fields still cancel (region cursors
+/// tabulate these boundaries with [`stepstone_addr::KeyRuns`]; the span
+/// program's replayed runs are column-pure by construction). The reorder
+/// window reuses the run's key without per-entry comparisons; debug builds
+/// verify the promised key on every hinted pull.
+///
+/// `take_run` is the run-granular escalation of the same promise: skip the
+/// next `n` steps wholesale, *without* yielding them through `next`. It
+/// may only skip steps the current hint covers — `Step::Access`es sharing
+/// the just-pulled anchor's window key, category, compute flag, and
+/// direction, each costing exactly one AGEN iteration — and returns how
+/// many it skipped (possibly fewer than `n`; `0` means unsupported and the
+/// engine falls back to per-block pulls). The engine synthesizes the
+/// skipped entries from the anchor, so a source honoring the contract is
+/// cycle-exact with the per-block path by construction.
 pub trait StepSource: Iterator<Item = Step> {
     fn run_hint(&self) -> u64 {
         1
+    }
+
+    fn take_run(&mut self, _n: u64) -> u64 {
+        0
     }
 }
 
 impl<S: StepSource + ?Sized> StepSource for Box<S> {
     fn run_hint(&self) -> u64 {
         (**self).run_hint()
+    }
+
+    fn take_run(&mut self, n: u64) -> u64 {
+        (**self).take_run(n)
     }
 }
 
@@ -152,6 +288,29 @@ pub struct UnitCursor<'a> {
     hint_left: u64,
     /// Window key of the hinted run's first entry.
     hint_key: u64,
+    /// Blocks of an admitted run still to be synthesized into the window
+    /// (the source already skipped them via [`StepSource::take_run`]).
+    run_left: u64,
+    /// The admitted run's first window entry: synthesized followers clone
+    /// it (fresh `gen_ready`; the stale column is never read — timing,
+    /// probes, and stats are column-blind, and admission requires the
+    /// trace to be off).
+    run_anchor: Option<WinEntry>,
+    /// How many window entries (always a suffix, while `run_left > 0`) are
+    /// synthesized followers of the current admitted run. When the whole
+    /// window is followers, the steady batch loop issues the remaining
+    /// virtual followers without touching the window at all.
+    win_synth: usize,
+    /// Scheduler's per-phase grant: this unit may admit hinted runs
+    /// (span-fast-path conditions hold and the run-granular knob is on).
+    run_admit: bool,
+    /// Why this unit's blocks go per-block when `run_admit` is false
+    /// (`FB_*` index chosen by the scheduler: traffic > refresh > trace >
+    /// other).
+    fallback_cause: u8,
+    /// Run-granularity statistics, flushed to [`run_counters`] at phase
+    /// end.
+    pub run_stats: RunStats,
     /// All current window entries share (channel, rank, bank group,
     /// direction) — maintained incrementally on push/pop; always equal to
     /// [`UnitCursor::window_scope_uniform`] over the live window.
@@ -260,6 +419,12 @@ impl<'a> UnitCursor<'a> {
             peeked: None,
             hint_left: 0,
             hint_key: 0,
+            run_left: 0,
+            run_anchor: None,
+            win_synth: 0,
+            run_admit: false,
+            fallback_cause: FB_OTHER as u8,
+            run_stats: RunStats::default(),
             win_uniform: true,
             window: VecDeque::with_capacity(8),
             window_cap: (pipeline_depth / 2).clamp(1, 8),
@@ -319,6 +484,16 @@ impl<'a> UnitCursor<'a> {
     fn fill_window(&mut self, mapping: &XorMapping) {
         let scope = scope_mask(mapping);
         while self.window.len() < self.window_cap {
+            // An admitted run synthesizes its followers from the anchor:
+            // the source already skipped these steps (take_run), promising
+            // Accesses that share the anchor's key, category, and
+            // direction at one AGEN iteration each — so the bookkeeping
+            // below is the per-pull arithmetic verbatim, applied to the
+            // promised values.
+            if self.run_left > 0 {
+                self.synth_follower(scope);
+                continue;
+            }
             // Ask the source for a run hint before pulling a fresh step;
             // the run's first entry computes and anchors the window key,
             // followers reuse it. The subset remap mixes address parities
@@ -382,14 +557,43 @@ impl<'a> UnitCursor<'a> {
                             self.win_uniform = self.win_uniform && (key ^ b.key) & scope == 0;
                         }
                     }
-                    self.window.push_back(WinEntry {
-                        coord,
-                        write,
-                        cat,
-                        compute,
-                        gen_ready: self.gen_clock,
-                        key,
-                    });
+                    let entry =
+                        WinEntry { coord, write, cat, compute, gen_ready: self.gen_clock, key };
+                    self.window.push_back(entry);
+                    // Run-granular admission: a fresh hint promising more
+                    // same-key blocks lets the source skip them wholesale;
+                    // this entry anchors the synthesized followers.
+                    let mut admitted = false;
+                    if run_first && self.run_admit && self.hint_left > 0 {
+                        let skipped = self.steps.take_run(self.hint_left);
+                        if skipped > 0 {
+                            debug_assert!(skipped <= self.hint_left, "over-skip");
+                            self.hint_left -= skipped;
+                            self.run_left = skipped;
+                            self.run_anchor = Some(entry);
+                            // The anchor itself is a real pull; only the
+                            // synthesized followers pushed after it count
+                            // toward the all-followers window test.
+                            self.win_synth = 0;
+                            self.run_stats.record_run(skipped + 1);
+                            admitted = true;
+                        }
+                    }
+                    if !admitted {
+                        let cause = if !self.run_admit {
+                            self.fallback_cause as usize
+                        } else if run_first && self.hint_left == 0 {
+                            // The hint ended here: the next step changes
+                            // (bank, row, direction) or crosses a stage
+                            // boundary.
+                            FB_ROW
+                        } else {
+                            // Hinted follower of a run the source could
+                            // not (or only partially) skip.
+                            FB_OTHER
+                        };
+                        self.run_stats.fallback[cause] += 1;
+                    }
                 }
                 _ => {
                     self.hint_left = 0;
@@ -399,11 +603,155 @@ impl<'a> UnitCursor<'a> {
         }
     }
 
+    /// Synthesize one admitted-run follower into the window: the exact
+    /// per-pull arithmetic of [`UnitCursor::fill_window`] applied to the
+    /// values [`StepSource::take_run`] promised (one AGEN iteration, the
+    /// anchor's key and coordinate — the stale column is never read).
+    #[inline]
+    fn synth_follower(&mut self, scope: u64) {
+        let anchor = self.run_anchor.expect("admitted run has an anchor");
+        self.run_left -= 1;
+        self.gen_clock = self.gen_clock.max(self.not_before) + 1;
+        self.agen_iter_sum += 1;
+        self.agen_iter_max = self.agen_iter_max.max(1);
+        if 1 > self.burst_window {
+            self.agen_bubbles += 1;
+        }
+        match self.window.back() {
+            None => self.win_uniform = true,
+            Some(b) => {
+                self.win_uniform = self.win_uniform && (anchor.key ^ b.key) & scope == 0;
+            }
+        }
+        self.window.push_back(WinEntry { gen_ready: self.gen_clock, ..anchor });
+        self.win_synth += 1;
+    }
+
+    /// Decide whether the rest of the admitted run can be issued as one
+    /// [`RunReply::Jump`], and at what per-block CAS distance `d`.
+    ///
+    /// Called with the unit just past `finish_block` of a frozen follower
+    /// (`bt`), about to issue the next one. The per-block transition from
+    /// here — AGEN tick, `issue_nb`, the steady CAS rule `cas' = max(cas +
+    /// step, nb)`, and `finish_block` — is a max/plus circuit over the
+    /// state vector (CAS, unit clock, AGEN clock, SIMD horizon, in-flight
+    /// deque) whose only other inputs are per-run constants and the launch
+    /// gate. Such a circuit commutes with shifting the whole state by `d`,
+    /// so if one transition advances every live state component by exactly
+    /// `d` — which this function verifies arithmetically — every later
+    /// transition does too (the launch gate, once below the CAS, can never
+    /// bind again), and all `run_left` remaining followers can be issued
+    /// closed-form. Any failed condition just means "stream one more block
+    /// and try again": the transient at a run's head (pipeline refilling,
+    /// launch gate clearing, pre-run in-flight entries draining) settles
+    /// within a few blocks.
+    fn jump_len(
+        &self,
+        cur: &WinEntry,
+        bt: stepstone_dram::BlockTiming,
+        step: u64,
+    ) -> Option<(u64, u64)> {
+        let cas = bt.cas_at;
+        // `gen_clock ≤ cas` makes the AGEN term exactly `cas + 1 ≤ cas +
+        // step` on this and (by the shift) every later block — masked.
+        if self.host_gap != 0
+            || self.pending_kernel_start
+            || self.launch_avail > cas
+            || self.gen_clock > cas
+        {
+            return None;
+        }
+        // Predict the next transition exactly as issue_nb + the steady CAS
+        // rule would compute it (the AGEN term is `max(gen_clock, cas) + 1
+        // ≤ cas + step`, so it never decides the max).
+        let full = self.inflight.len() >= self.pipeline_depth;
+        let mut nb = cas + step;
+        if full {
+            nb = nb.max(*self.inflight.front().expect("pipeline_depth > 0"));
+        }
+        let d = nb - cas;
+        if cur.compute {
+            // The deque must already be one arithmetic cadence: then each
+            // jumped block pops its front and pushes back + d, a pure
+            // shift of the whole deque by d.
+            if !full
+                || self.simd_free != *self.inflight.back().unwrap()
+                || self
+                    .inflight
+                    .iter()
+                    .zip(self.inflight.iter().skip(1))
+                    .any(|(a, b)| b.wrapping_sub(*a) != d)
+            {
+                return None;
+            }
+            // The next completion must continue that cadence…
+            let done = self.simd_free.max(bt.data_end + d) + self.compute_cycles_per_block;
+            if done != self.simd_free + d {
+                return None;
+            }
+            // …and the unit clock must be tracking the CAS.
+            if self.clock != cas {
+                return None;
+            }
+        } else {
+            // No pushes: any pops would drain pre-run completions that are
+            // not part of the shift-invariant state.
+            if full || self.clock != bt.data_end {
+                return None;
+            }
+        }
+        Some((self.run_left, d))
+    }
+
+    /// Account `k` jumped followers (see [`UnitCursor::jump_len`]): the
+    /// exact per-block arithmetic of the virtual-issue path and
+    /// [`UnitCursor::finish_block`], folded over `k` blocks that each
+    /// advance the whole issue state by `d`.
+    fn jump_followers(&mut self, cur: &WinEntry, bt: stepstone_dram::BlockTiming, k: u64, d: u64) {
+        let kd = k * d;
+        let last_cas = bt.cas_at + kd;
+        let last_data_end = bt.data_end + kd;
+        self.run_left -= k;
+        // After issuing the last follower: one AGEN tick past the
+        // previous block's CAS.
+        self.gen_clock = last_cas - d + 1;
+        self.agen_iter_sum += k;
+        self.agen_iter_max = self.agen_iter_max.max(1);
+        if 1 > self.burst_window {
+            self.agen_bubbles += k;
+        }
+        self.not_before = last_cas;
+        if cur.compute {
+            for t in self.inflight.iter_mut() {
+                *t += kd;
+            }
+            self.simd_free += kd;
+            self.simd_ops += k * self.simd_ops_per_block;
+            self.scratch_accesses += 2 * k;
+        } else {
+            self.scratch_accesses += k;
+        }
+        self.cat_cycles[cur.cat.index()] += kd;
+        self.clock += kd;
+        self.end_time = self.end_time.max(last_data_end).max(self.simd_free);
+    }
+
     /// Remove window entry `ix`, restoring the uniformity flag when the
     /// departure of a mismatched entry makes the remainder uniform again.
     #[inline]
     fn take_entry(&mut self, ix: usize, scope: u64) -> WinEntry {
-        let e = self.window.remove(ix).expect("window entry");
+        // While a run is active its followers are exactly the entries
+        // pushed since admission — a window suffix (only followers are
+        // pushed while `run_left > 0`). After the run drains the count may
+        // go stale; the next admission resets it before it is read again.
+        if self.win_synth > 0 && ix >= self.window.len() - self.win_synth {
+            self.win_synth -= 1;
+        }
+        let e = if ix == 0 {
+            self.window.pop_front().expect("window entry")
+        } else {
+            self.window.remove(ix).expect("window entry")
+        };
         if !self.win_uniform {
             self.win_uniform = self.window_scope_uniform(scope) || self.window.is_empty();
         }
@@ -411,7 +759,7 @@ impl<'a> UnitCursor<'a> {
     }
 
     pub fn is_done(&mut self) -> bool {
-        self.window.is_empty() && self.peek().is_none()
+        self.run_left == 0 && self.window.is_empty() && self.peek().is_none()
     }
 
     /// Desired time of the next command (scheduling key).
@@ -636,21 +984,69 @@ impl<'a> UnitCursor<'a> {
             let kind = if e0.write { CasKind::Write } else { CasKind::Read };
             let nb = self.issue_nb(e0.gen_ready);
             let mut cur = e0;
-            ts.access_run_with(e0.coord, kind, self.port, nb, &mut |bt| {
-                self.finish_block(&cur, bt);
-                self.fill_window(mapping);
-                let front = self.window.front()?;
+            let step = ts.cas_step();
+            let mut jumped = false;
+            ts.access_run_stream(e0.coord, kind, self.port, nb, &mut |bt| {
+                if jumped {
+                    // The jump already accounted every block through this
+                    // one (`bt` is the last jumped block's timing).
+                    jumped = false;
+                } else {
+                    self.finish_block(&cur, bt);
+                }
+                // Frozen-window streaming: once the whole window consists
+                // of the admitted run's synthesized followers, the entries
+                // are interchangeable — identical but for `gen_ready`
+                // stamps, which the CAS cadence provably masks (a
+                // follower's stamp is at most one cycle past the previous
+                // CAS, and the cadence step is at least the burst length).
+                // So issue the remaining followers virtually, leaving the
+                // window untouched: the arithmetic below is the synthesis
+                // arithmetic verbatim, and `run_left` crosses zero at the
+                // same issued-block position as in the push/pop interleave,
+                // so post-run pulls resume at identical positions.
+                if self.run_left > 0 && self.win_synth == self.window.len() {
+                    let anchor = self.run_anchor.as_ref().expect("admitted run has an anchor");
+                    if cur.key == anchor.key {
+                        if let Some((k, d)) = self.jump_len(&cur, bt, step) {
+                            self.jump_followers(&cur, bt, k, d);
+                            jumped = true;
+                            return RunReply::Jump { count: k, d };
+                        }
+                        self.run_left -= 1;
+                        self.gen_clock = self.gen_clock.max(self.not_before) + 1;
+                        self.agen_iter_sum += 1;
+                        if 1 > self.burst_window {
+                            self.agen_bubbles += 1;
+                        }
+                        // `cur` already carries the follower's coord, key,
+                        // category, and compute flag; its `gen_ready` stamp
+                        // is dead past `issue_nb`, so no rebuild is needed.
+                        let nb = self.issue_nb(self.gen_clock);
+                        return RunReply::Block(cur.coord, nb);
+                    }
+                }
+                // Steady-state refill: one synthesized follower replaces
+                // the entry just issued (the common case for admitted
+                // runs), falling back to the general fill at run edges —
+                // behaviorally identical to `fill_window`, minus its loop.
+                if self.run_left > 0 && self.window.len() + 1 == self.window_cap {
+                    self.synth_follower(scope);
+                } else {
+                    self.fill_window(mapping);
+                }
+                let Some(front) = self.window.front() else { return RunReply::End };
                 // The run continues only within the same bank, row, and
                 // direction (the row is necessarily still open, so every
                 // follower is a closed-form hit); any boundary returns to
                 // the outer loop, and a row/bank change from there to the
                 // exact per-block path.
                 if front.key != cur.key || !self.win_uniform {
-                    return None;
+                    return RunReply::End;
                 }
                 cur = self.take_entry(0, scope);
                 let nb = self.issue_nb(cur.gen_ready);
-                Some((cur.coord, nb))
+                RunReply::Block(cur.coord, nb)
             });
         }
     }
@@ -663,6 +1059,27 @@ impl<'a> UnitCursor<'a> {
             self.clock = self.simd_free;
         }
         self.end_time = self.end_time.max(self.clock);
+    }
+
+    /// Drain this unit's run statistics into the process-wide counters
+    /// (called once per unit at phase end; the local copy is cleared so a
+    /// unit driven through multiple phases never double-counts).
+    fn flush_run_stats(&mut self) {
+        let s = std::mem::take(&mut self.run_stats);
+        if s.runs > 0 {
+            G_RUNS.fetch_add(s.runs, Ordering::Relaxed);
+            G_RUN_BLOCKS.fetch_add(s.run_blocks, Ordering::Relaxed);
+            for (i, h) in s.hist.iter().enumerate() {
+                if *h > 0 {
+                    G_HIST[i].fetch_add(*h, Ordering::Relaxed);
+                }
+            }
+        }
+        for (i, f) in s.fallback.iter().enumerate() {
+            if *f > 0 {
+                G_FALLBACK[i].fetch_add(*f, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -756,11 +1173,6 @@ fn run_units(
 ) -> u64 {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = units
-        .iter_mut()
-        .enumerate()
-        .filter_map(|(i, u)| u.desired(mapping).map(|t| Reverse((t, i))))
-        .collect();
     // The span fast path needs every actor's bank/path state to move only
     // at its own turn: no colocated traffic, no refresh, no global-time
     // trace, and every unit on a private bank partition. Exclusivity is
@@ -775,6 +1187,31 @@ fn run_units(
         && !ts.config().refresh
         && !ts.trace_enabled()
         && units.iter().all(|u| u.exclusive);
+    // Run-granular admission rides the same conditions: an admitted run is
+    // only ever issued through the fast path's closed-form CAS cadence, so
+    // anything that forces per-block probing also forces per-block pulls.
+    // The grant must be set *before* the heap build below — `desired`
+    // already fills reorder windows. The fallback cause explains the whole
+    // phase (precedence: traffic > refresh > trace > other).
+    let admit = fast && run_granular_enabled();
+    let cause = if traffic.is_some() {
+        FB_TRAFFIC
+    } else if ts.config().refresh {
+        FB_REFRESH
+    } else if ts.trace_enabled() {
+        FB_TRACE
+    } else {
+        FB_OTHER
+    } as u8;
+    for u in units.iter_mut() {
+        u.run_admit = admit;
+        u.fallback_cause = cause;
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = units
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, u)| u.desired(mapping).map(|t| Reverse((t, i))))
+        .collect();
     while let Some(Reverse((t, i))) = heap.pop() {
         // Let CPU traffic that wants the bus earlier go first.
         if let Some(tc) = traffic.as_deref_mut() {
@@ -790,6 +1227,7 @@ fn run_units(
     let mut end = 0;
     for u in units.iter_mut() {
         u.finish();
+        u.flush_run_stats();
         end = end.max(u.end_time);
     }
     // Serve CPU traffic that arrived within the phase but after the last

@@ -22,7 +22,7 @@ use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::agen::Spans;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{
-    AgenSpan, GroupAnalysis, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
+    AgenSpan, GroupAnalysis, KeyRuns, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
     SpanProgram, StepStoneAgen, XorMapping, BLOCK_BYTES, BLOCK_SHIFT,
 };
 use stepstone_dram::{CommandBus, Port, TimingState, TrafficSource};
@@ -126,6 +126,12 @@ pub struct GemmContext {
     pub b_slice_lens: Vec<Vec<u64>>,
     /// Direct-scratchpad optimization active (small matrices, §III-E).
     pub direct_scratchpad: bool,
+    /// Per-active-PIM tabulated same-(bank, row) run boundaries of the `B`
+    /// region (None when the mapping period is untabulable or fills are
+    /// bypassed): the kernel stream's fill-stage run hints.
+    pub b_key_runs: Vec<Option<KeyRuns>>,
+    /// Same for the partial-`C` region (FillC/DrainC hints).
+    pub c_key_runs: Vec<Option<KeyRuns>>,
 }
 
 impl GemmContext {
@@ -201,6 +207,31 @@ impl GemmContext {
         let direct_scratchpad =
             b_bytes_pp + c_bytes_pp <= opts.level_cfg.scratchpad_bytes;
 
+        // Tabulate the regions' same-(bank, row) run boundaries once per
+        // context: the kernel streams hint whole fill runs to the engine
+        // from these. Pointless when fills are bypassed entirely.
+        let (b_key_runs, c_key_runs) = if direct_scratchpad {
+            (vec![None; b_regions.len()], vec![None; c_regions.len()])
+        } else {
+            // The per-PIM plans of one matrix differ only in parity
+            // targets, which provably never change the table (see
+            // `RegionPlan::same_key_runs`) — tabulate each class once.
+            let tabulate = |regions: &[RegionPlan]| -> Vec<Option<KeyRuns>> {
+                let mut out: Vec<Option<KeyRuns>> = Vec::with_capacity(regions.len());
+                for (i, r) in regions.iter().enumerate() {
+                    match regions[..i].iter().position(|p| p.same_key_runs(r)) {
+                        Some(j) => out.push(out[j].clone()),
+                        None => out.push(r.key_runs(&mapping)),
+                    }
+                }
+                out
+            };
+            (
+                tabulate(&b_regions),
+                tabulate(&c_regions),
+            )
+        };
+
         Self {
             mapping,
             layout,
@@ -214,6 +245,8 @@ impl GemmContext {
             c_blocks_by_rpart,
             b_slice_lens,
             direct_scratchpad,
+            b_key_runs,
+            c_key_runs,
         }
     }
 
@@ -377,6 +410,28 @@ impl WalkCursor {
             }
         }
     }
+
+    /// Skip up to `n` blocks of the current span without yielding them
+    /// (the [`StepSource::take_run`] contract: only callable for blocks a
+    /// hint already promised, each a plain one-iteration continuation).
+    /// Returns the number skipped; 0 when the cursor cannot promise
+    /// one-iteration continuations (naive AGEN, or a span head whose
+    /// corrector cost is still unconsumed).
+    #[inline]
+    pub fn take_run(&mut self, n: u64) -> u64 {
+        match self {
+            WalkCursor::Naive(_) => 0,
+            WalkCursor::Spanned { cur, remaining, first_iters, .. } => {
+                if *first_iters != 0 {
+                    return 0;
+                }
+                let k = n.min(*remaining);
+                *cur += k * BLOCK_BYTES;
+                *remaining -= k;
+                k
+            }
+        }
+    }
 }
 
 /// Count of a (sorted) local-column list falling in one column partition.
@@ -442,6 +497,10 @@ pub struct KernelStream<'a> {
     uncached_agen: bool,
     /// PA bits that only move the column coordinate (run-hint guard).
     col_pure: u64,
+    /// Last emitted access address — debug builds verify every block a
+    /// `take_run` skips against its (bank, row) key.
+    #[cfg(debug_assertions)]
+    last_pa: u64,
 }
 
 impl<'a> KernelStream<'a> {
@@ -491,6 +550,8 @@ impl<'a> KernelStream<'a> {
             queued: None,
             uncached_agen: false,
             col_pure: ctx.mapping.column_pure_mask(),
+            #[cfg(debug_assertions)]
+            last_pa: 0,
         }
     }
 
@@ -525,6 +586,17 @@ impl Iterator for KernelStream<'_> {
     type Item = Step;
 
     fn next(&mut self) -> Option<Step> {
+        let step = self.next_step();
+        #[cfg(debug_assertions)]
+        if let Some(Step::Access { pa, .. }) = step {
+            self.last_pa = pa;
+        }
+        step
+    }
+}
+
+impl KernelStream<'_> {
+    fn next_step(&mut self) -> Option<Step> {
         if let Some(step) = self.queued.take() {
             return Some(step);
         }
@@ -626,16 +698,101 @@ impl Iterator for KernelStream<'_> {
     }
 }
 
+impl KernelStream<'_> {
+    /// The tabulated key-run boundaries governing the current fill stage.
+    fn fill_key_runs(&self) -> &Option<KeyRuns> {
+        match self.stage {
+            KernelStage::FillB => &self.ctx.b_key_runs[self.pix],
+            _ => &self.ctx.c_key_runs[self.pix],
+        }
+    }
+
+    /// Debug check: a block `take_run` is about to skip must share the
+    /// last emitted access's (bank, row) — the window key the engine's
+    /// synthesized entries will carry.
+    #[cfg(debug_assertions)]
+    fn check_run_key(&self, pa: u64) {
+        let m = &self.ctx.mapping;
+        let g = m.geometry();
+        let a = m.decode(self.last_pa);
+        let c = m.decode(pa);
+        assert_eq!(
+            (c.bank_index(g), c.row),
+            (a.bank_index(g), a.row),
+            "take_run would skip across a key boundary (pa {pa:#x} after {:#x})",
+            self.last_pa
+        );
+    }
+}
+
 impl StepSource for KernelStream<'_> {
-    /// Promise the rest of the current AGEN span to the engine when it is
-    /// a same-key contiguous run (Gemm stage, non-eCHO, column-pure
-    /// variation only) — the span program's replayed runs surface here as
-    /// whole-run window fills.
+    /// Promise upcoming same-key runs to the engine:
+    ///
+    /// * **Gemm** (non-eCHO) — the rest of the current AGEN span up to the
+    ///   first non-column-pure boundary; the span program's replayed runs
+    ///   surface here as whole-run window fills.
+    /// * **FillC/FillB/DrainC** — the region cursor's tabulated
+    ///   same-(bank, row) run from its current rank, clamped to the
+    ///   remaining slice (fill runs are *not* contiguous in the address
+    ///   space — the XOR mapping interleaves their columns — but the
+    ///   non-column decode fields cancel; see
+    ///   [`stepstone_addr::RegionPlan::key_runs`]).
     fn run_hint(&self) -> u64 {
-        if self.stage != KernelStage::Gemm || self.echo || self.queued.is_some() {
+        if self.queued.is_some() {
             return 1;
         }
-        self.walk.as_ref().map_or(1, |w| w.run_hint(self.col_pure))
+        match self.stage {
+            KernelStage::Gemm if !self.echo => {
+                self.walk.as_ref().map_or(1, |w| w.run_hint(self.col_pure))
+            }
+            KernelStage::FillC | KernelStage::FillB | KernelStage::DrainC => {
+                let Some(it) = self.fill.as_ref() else { return 1 };
+                let rem = it.len() as u64;
+                if rem <= 1 {
+                    return 1;
+                }
+                self.fill_key_runs()
+                    .as_ref()
+                    .map_or(1, |kr| kr.run_len_from(it.pos_rank()).min(rem))
+            }
+            _ => 1,
+        }
+    }
+
+    fn take_run(&mut self, n: u64) -> u64 {
+        if self.queued.is_some() {
+            return 0;
+        }
+        match self.stage {
+            KernelStage::Gemm if !self.echo => {
+                #[cfg(debug_assertions)]
+                if let Some(WalkCursor::Spanned { cur, remaining, first_iters, .. }) = &self.walk {
+                    if *first_iters == 0 {
+                        for i in 0..n.min(*remaining) {
+                            self.check_run_key(*cur + i * BLOCK_BYTES);
+                        }
+                    }
+                }
+                self.walk.as_mut().map_or(0, |w| w.take_run(n))
+            }
+            KernelStage::FillC | KernelStage::FillB | KernelStage::DrainC => {
+                let Some(it) = self.fill.as_ref() else { return 0 };
+                let k = n.min(it.len() as u64);
+                #[cfg(debug_assertions)]
+                {
+                    let mut probe = it.clone();
+                    for _ in 0..k {
+                        let pa = probe.next().expect("skip stays within the slice");
+                        self.check_run_key(pa);
+                    }
+                }
+                if let Some(it) = self.fill.as_mut() {
+                    it.skip_blocks(k);
+                }
+                k
+            }
+            _ => 0,
+        }
     }
 }
 

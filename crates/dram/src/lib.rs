@@ -24,6 +24,6 @@ pub use audit::{CmdKind, CmdRecord, CommandTrace};
 pub use cmdbus::CommandBus;
 pub use config::{DramConfig, TimingParams};
 pub use memory::SparseMem;
-pub use timing::{BlockTiming, CasKind, DramStats, Port, TimingState};
+pub use timing::{BlockTiming, CasKind, DramStats, Port, RunReply, TimingState};
 pub use traffic::{TrafficReq, TrafficSource};
 

@@ -64,6 +64,27 @@ pub struct BlockTiming {
     pub acts: u32,
 }
 
+/// Caller's reply in [`TimingState::access_run_stream`]: the next block of
+/// the run, a closed-form jump over blocks whose CAS times are promised to
+/// advance by a fixed delta, or the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunReply {
+    /// Issue one block at `(coord, not_before)` — identical semantics to
+    /// the `Some((coord, nb))` reply of [`TimingState::access_run_with`].
+    Block(DramCoord, u64),
+    /// Issue `count` further blocks of the current steady run, each
+    /// repeating the previous coordinate with its CAS exactly `d` cycles
+    /// after its predecessor's (`d ≥ max(tCCDL, tCCDS, tBL)`).
+    Jump {
+        /// Blocks to issue.
+        count: u64,
+        /// Exact CAS-to-CAS distance of every jumped block.
+        d: u64,
+    },
+    /// End the run.
+    End,
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     open_row: Option<u32>,
@@ -225,6 +246,15 @@ impl TimingState {
     /// fall back to the serial engine to keep the trace time-ordered).
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// The CAS-to-CAS cadence floor of a steady same-row run (see
+    /// [`TimingState::access_run_with`]): the minimum distance between
+    /// consecutive CAS commands on one bank, and the lower bound on the
+    /// `d` of a [`RunReply::Jump`].
+    pub fn cas_step(&self) -> u64 {
+        let tp = self.cfg.timing;
+        tp.t_ccdl.max(tp.t_ccds).max(tp.t_bl)
     }
 
     /// Adopt channel `ch`'s bank, rank, and path state from `other` (a
@@ -564,13 +594,40 @@ impl TimingState {
     /// stats, and the trace are bit-identical to `n` single `access` calls.
     ///
     /// Returns the number of blocks issued (≥ 1).
-    pub fn access_run_with(
+    pub fn access_run_with<F: FnMut(BlockTiming) -> Option<(DramCoord, u64)>>(
         &mut self,
         first: DramCoord,
         kind: CasKind,
         port: Port,
         not_before: u64,
-        next: &mut dyn FnMut(BlockTiming) -> Option<(DramCoord, u64)>,
+        next: &mut F,
+    ) -> u64 {
+        self.access_run_stream(first, kind, port, not_before, &mut |bt| match next(bt) {
+            Some((c, nb)) => RunReply::Block(c, nb),
+            None => RunReply::End,
+        })
+    }
+
+    /// [`TimingState::access_run_with`] with a richer reply protocol: the
+    /// caller may answer [`RunReply::Jump`] to issue `count` further
+    /// blocks of the current steady run in one step, promising that each
+    /// would repeat the previous coordinate with a CAS time exactly `d`
+    /// cycles after its predecessor (`d ≥` the CAS-to-CAS cadence floor,
+    /// so the cadence constraint holds and per-block `not_before` values
+    /// never bind). The promise is the caller's: it is only sound when
+    /// the caller's own issue state advances by exactly `d` per block —
+    /// see the shift-invariance detection in the engine's batch loop —
+    /// and when no refresh deadline or trace can interleave (the jump is
+    /// rejected by debug assertion otherwise). The next callback
+    /// invocation receives the timing of the *last* jumped block, which
+    /// the caller must treat as already accounted.
+    pub fn access_run_stream<F: FnMut(BlockTiming) -> RunReply>(
+        &mut self,
+        first: DramCoord,
+        kind: CasKind,
+        port: Port,
+        not_before: u64,
+        next: &mut F,
     ) -> u64 {
         let g = *self.geom();
         let tp = self.cfg.timing;
@@ -587,12 +644,49 @@ impl TimingState {
         // Followers issued in closed form but not yet committed.
         let mut pending = 0u64;
         let mut last_cas = bt.cas_at;
-        while let Some((c, nb)) = next(bt) {
-            let steady = self.trace.is_none()
-                && c.row == run.row
-                && c.bank_index(&g) == bank_ix
-                && (!self.cfg.refresh || nb < self.ranks[rank_ix].next_ref)
-                && self.banks[bank_ix].open_row == Some(run.row);
+        // Once a follower passes the full steady test, its invariant parts
+        // (no trace, the run's row open in the run's bank) cannot change
+        // until the next full `access` — steady iterations touch no bank or
+        // trace state. A follower repeating the previous coordinate
+        // verbatim therefore only needs the refresh-deadline recheck, the
+        // one condition that advances with `nb`.
+        let mut verified = false;
+        let mut next_ref = u64::MAX;
+        loop {
+            let (c, nb) = match next(bt) {
+                RunReply::End => break,
+                RunReply::Jump { count, d } => {
+                    debug_assert!(
+                        count > 0 && d >= step && self.trace.is_none() && !self.cfg.refresh,
+                        "RunReply::Jump requires a steady, trace- and refresh-free run"
+                    );
+                    last_cas += count * d;
+                    bt = BlockTiming {
+                        cas_at: last_cas,
+                        data_start: last_cas + latency,
+                        data_end: last_cas + latency + tp.t_bl,
+                        row_hit: true,
+                        acts: 0,
+                    };
+                    pending += count;
+                    n += count;
+                    continue;
+                }
+                RunReply::Block(c, nb) => (c, nb),
+            };
+            let steady = (verified && c == run && (!self.cfg.refresh || nb < next_ref)) || {
+                let full = self.trace.is_none()
+                    && c.row == run.row
+                    && c.bank_index(&g) == bank_ix
+                    && (!self.cfg.refresh || nb < self.ranks[rank_ix].next_ref)
+                    && self.banks[bank_ix].open_row == Some(run.row);
+                if full {
+                    run = c;
+                    verified = true;
+                    next_ref = self.ranks[rank_ix].next_ref;
+                }
+                full
+            };
             if steady {
                 let cas_at = nb.max(last_cas + step);
                 bt = BlockTiming {
@@ -612,6 +706,9 @@ impl TimingState {
                 bank_ix = run.bank_index(&g);
                 rank_ix = run.rank_index(&g);
                 last_cas = bt.cas_at;
+                // The full access may have refreshed or re-opened rows;
+                // re-establish the invariants before trusting them again.
+                verified = false;
             }
             n += 1;
         }

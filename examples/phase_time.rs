@@ -1,12 +1,18 @@
 //! Per-phase wall-clock breakdown of one streaming GEMM simulation —
 //! the profiling companion to `bench_sim` (which times end-to-end runs).
+//! Each phase also reports its run-granularity statistics: hinted runs
+//! admitted as single scheduling objects, their mean length, and the
+//! per-block fallback split by cause (refresh / row / trace / traffic /
+//! other).
 //!
 //! Usage: `cargo run --release --example phase_time [M K N]`
 //! (defaults to 2048 2048 64 at StepStone-BG).
 
 use std::time::Instant;
 use stepstone_addr::PimLevel;
-use stepstone_core::engine::{run_phase_auto, UnitCursor};
+use stepstone_core::engine::{
+    reset_run_counters, run_counters, run_phase_auto, RunCounters, UnitCursor, FB_LABELS,
+};
 use stepstone_core::flow::{transfer_cursors, GemmContext, KernelStream};
 use stepstone_core::{GemmSpec, Phase, SimOptions, SystemConfig};
 use stepstone_dram::{CommandBus, TimingState};
@@ -22,7 +28,28 @@ fn main() {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let loc_mode = sys.localization;
 
+    let phase_stats = |label: &str, t0: Instant, blocks: u64, rc: RunCounters| {
+        println!(
+            "{label}: {:>9.1} ms  {:>6.1} ns/blk ({blocks} blocks)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            t0.elapsed().as_nanos() as f64 / blocks.max(1) as f64,
+        );
+        let splits: Vec<String> = FB_LABELS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| rc.fallback[i] > 0)
+            .map(|(i, l)| format!("{l} {}", rc.fallback[i]))
+            .collect();
+        println!(
+            "        {} runs admitted, mean {:.1} blocks; per-block splits: {}",
+            rc.runs,
+            rc.mean_run_len(),
+            if splits.is_empty() { "none".into() } else { splits.join(", ") },
+        );
+    };
+
     let t0 = Instant::now();
+    reset_run_counters();
     let mut loc = transfer_cursors(
         &ctx,
         &ctx.b_regions,
@@ -33,17 +60,13 @@ fn main() {
     );
     let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, None, sys.parallel);
     let loc_blocks = ts.stats.accesses();
-    println!(
-        "loc   : {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
-        t0.elapsed().as_secs_f64() * 1e3,
-        t0.elapsed().as_nanos() as f64 / loc_blocks.max(1) as f64,
-        loc_blocks
-    );
+    phase_stats("loc   ", t0, loc_blocks, run_counters());
 
     let t0 = Instant::now();
+    reset_run_counters();
     let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
         .map(|pix| {
-            let mut u = UnitCursor::new(
+            let mut u = UnitCursor::from_source(
                 "pim",
                 ctx.pim_channel(ctx.active_pims[pix]),
                 opts.level_cfg.port(),
@@ -63,15 +86,11 @@ fn main() {
         .collect();
     run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, None, sys.parallel);
     let kern_blocks = ts.stats.accesses() - loc_blocks;
-    println!(
-        "kernel: {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
-        t0.elapsed().as_secs_f64() * 1e3,
-        t0.elapsed().as_nanos() as f64 / kern_blocks.max(1) as f64,
-        kern_blocks
-    );
+    phase_stats("kernel", t0, kern_blocks, run_counters());
 
     let kernel_end = units.iter().map(|u| u.end_time).max().unwrap_or(loc_end);
     let t0 = Instant::now();
+    reset_run_counters();
     let mut red = transfer_cursors(
         &ctx,
         &ctx.c_regions,
@@ -82,10 +101,5 @@ fn main() {
     );
     run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, None, sys.parallel);
     let red_blocks = ts.stats.accesses() - loc_blocks - kern_blocks;
-    println!(
-        "red   : {:>9.1} ms  {:>6.1} ns/blk ({} blocks)",
-        t0.elapsed().as_secs_f64() * 1e3,
-        t0.elapsed().as_nanos() as f64 / red_blocks.max(1) as f64,
-        red_blocks
-    );
+    phase_stats("red   ", t0, red_blocks, run_counters());
 }
