@@ -41,7 +41,11 @@ ci: build test clippy doc matrix bench-smoke
 # floored at the 30 ns/block paper target, for host noise), and the
 # parallel-vs-serial speedup is only gated when more than one CPU is
 # available (on a 1-CPU host the sharded engine ties serial, modulo
-# noise).
+# noise). Backend tiers (PR 7): the exact tier's sim_cycles must stay
+# bit-identical to the committed value, the analytic tier's (deterministic)
+# cycles must exact-match and its wall-clock speedup over exact must meet
+# the committed floor, and the DRAM preset smoke must reproduce every
+# preset's committed cycle count.
 bench-smoke:
 	cargo build --release -p stepstone-bench --bin bench_sim
 	rm -rf target/bench-smoke && mkdir -p target/bench-smoke
@@ -90,11 +94,25 @@ ceil=max(30.0, 1.35*css['ns_per_block']); \
 assert ss['ns_per_block']<=ceil, \
 'streaming-serial %.1f ns/block regressed above %.1f (committed %.1f)' \
 % (ss['ns_per_block'], ceil, css['ns_per_block']); \
+bk=d['backends']; cbk=c['backends']; \
+assert bk['exact']['sim_cycles']==cbk['exact']['sim_cycles'], \
+'exact-tier sim cycles changed: %d vs committed %d (default path must stay bit-identical)' \
+% (bk['exact']['sim_cycles'], cbk['exact']['sim_cycles']); \
+assert bk['analytic']['sim_cycles']==cbk['analytic']['sim_cycles'], \
+'analytic-tier sim cycles changed (deterministic; update BENCH_sim.json if intended): %d vs %d' \
+% (bk['analytic']['sim_cycles'], cbk['analytic']['sim_cycles']); \
+assert bk['analytic']['speedup_vs_exact']>=bk['speedup_floor'], \
+'analytic tier only %.0fx faster than exact, floor is %.0fx' \
+% (bk['analytic']['speedup_vs_exact'], bk['speedup_floor']); \
+assert [p['name'] for p in bk['presets']]==[p['name'] for p in cbk['presets']], 'preset list changed'; \
+assert all(p['sim_cycles']==q['sim_cycles'] and p['clock_hz']==q['clock_hz'] \
+for p,q in zip(bk['presets'],cbk['presets'])), \
+'preset smoke changed (deterministic; update BENCH_sim.json if intended)'; \
 par_ok='skipped (1 cpu)' if d['config']['threads']<2 else '%.2fx' % d['speedup_parallel_vs_serial']; \
 assert d['config']['threads']<2 or d['speedup_parallel_vs_serial']>=0.9, \
 'parallel engine slower than serial: %.2fx' % d['speedup_parallel_vs_serial']; \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f)' \
-% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil))"
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets)' \
+% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets'])))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

@@ -56,15 +56,21 @@ pub fn mapping_by_id(id: MappingId) -> XorMapping {
     mapping_on(id, Geometry::default())
 }
 
-/// Construct a preset mapping on a caller-provided geometry (must keep the
-/// default field widths: 1 channel bit, 1 rank bit, 2+2 bank bits, 7 column
-/// bits; the row width may vary).
+/// Construct a preset mapping on a caller-provided geometry. Geometries
+/// with the default field widths (1 channel bit, 1 rank bit, 2+2 bank
+/// bits, 7 column bits) get the Table II bit layouts verbatim (the row
+/// width may vary); anything else — the DDR5/LPDDR5/HBM `DramConfig`
+/// preset geometries — falls back to `generic_mapping_on`, which builds
+/// a mapping in the same XOR style sized to the actual field widths.
 pub fn mapping_on(id: MappingId, geom: Geometry) -> XorMapping {
-    assert_eq!(geom.channel_bits(), 1, "presets assume 2 channels");
-    assert_eq!(geom.rank_bits(), 1, "presets assume 2 ranks per channel");
-    assert_eq!(geom.bankgroup_bits(), 2, "presets assume 4 bank groups");
-    assert_eq!(geom.bank_bits(), 2, "presets assume 4 banks per group");
-    assert_eq!(geom.column_bits(), 7, "presets assume 128 blocks per row");
+    if geom.channel_bits() != 1
+        || geom.rank_bits() != 1
+        || geom.bankgroup_bits() != 2
+        || geom.bank_bits() != 2
+        || geom.column_bits() != 7
+    {
+        return generic_mapping_on(id, geom);
+    }
     use Field::*;
     let mut specs: Vec<BitSpec> = match id {
         // Low column bits first, wide ID bits in the middle of the page,
@@ -170,6 +176,54 @@ pub fn mapping_on(id: MappingId, geom: Geometry) -> XorMapping {
     XorMapping::from_bit_specs(name, geom, &specs)
 }
 
+/// XOR mapping for an arbitrary geometry, in the style of the Table II
+/// presets: one low column bit, then channel / bank-group / bank / rank ID
+/// bits (finely interleaving consecutive blocks), then the remaining
+/// column bits, then the row. Each ID bit additionally XOR-taps a distinct
+/// *plain-owned* row PA bit — tap assignment rotates with the mapping ID
+/// so the five presets stay distinct on any geometry — which keeps the
+/// per-bit ownership matrix unit upper-triangular and hence always
+/// invertible (the `linear_mapping` construction, plus taps).
+fn generic_mapping_on(id: MappingId, geom: Geometry) -> XorMapping {
+    use crate::geometry::BLOCK_SHIFT;
+    use Field::*;
+    let id_fields = [
+        (Channel, geom.channel_bits()),
+        (BankGroup, geom.bankgroup_bits()),
+        (Bank, geom.bank_bits()),
+        (Rank, geom.rank_bits()),
+    ];
+    let id_total: u32 = id_fields.iter().map(|(_, n)| n).sum();
+    let (colb, rowb) = (geom.column_bits(), geom.row_bits());
+    assert!(colb >= 1, "need at least one column bit");
+    assert!(rowb >= id_total, "generic mapping taps one row bit per ID bit");
+    // First PA bit plainly owned by the row (taps must land on plain bits).
+    let row_base = BLOCK_SHIFT + colb + id_total;
+    let mut specs: Vec<BitSpec> = vec![BitSpec::plain(Column, 0)];
+    let mut next_tap = 0u32;
+    for (field, n) in id_fields {
+        for i in 0..n {
+            let tap = row_base + (next_tap + id.index() as u32) % rowb;
+            specs.push(BitSpec::tapped(field, i, &[tap]));
+            next_tap += 1;
+        }
+    }
+    for i in 1..colb {
+        specs.push(BitSpec::plain(Column, i));
+    }
+    for i in 0..rowb {
+        specs.push(BitSpec::plain(Row, i));
+    }
+    let name = match id {
+        MappingId::Exynos => "exynos-mod",
+        MappingId::Haswell => "haswell-mod",
+        MappingId::IvyBridge => "ivybridge-mod",
+        MappingId::SandyBridge => "sandybridge-mod",
+        MappingId::Skylake => "skylake",
+    };
+    XorMapping::from_bit_specs(name, geom, &specs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +261,54 @@ mod tests {
             assert_eq!(c.rank, 0);
             assert_eq!(c.bankgroup & 2, 0);
             assert_eq!(c.bank, 0);
+        }
+    }
+
+    #[test]
+    fn generic_mapping_round_trips_on_preset_geometries() {
+        // The DDR5 / LPDDR5 / HBM `DramConfig` preset geometries.
+        let geoms = [
+            Geometry {
+                channels: 4,
+                ranks_per_channel: 1,
+                bankgroups_per_rank: 8,
+                banks_per_bankgroup: 4,
+                rows_per_bank: 32768,
+                blocks_per_row: 64,
+            },
+            Geometry {
+                channels: 2,
+                ranks_per_channel: 1,
+                bankgroups_per_rank: 4,
+                banks_per_bankgroup: 4,
+                rows_per_bank: 65536,
+                blocks_per_row: 128,
+            },
+            Geometry {
+                channels: 4,
+                ranks_per_channel: 1,
+                bankgroups_per_rank: 4,
+                banks_per_bankgroup: 4,
+                rows_per_bank: 65536,
+                blocks_per_row: 64,
+            },
+        ];
+        for geom in geoms {
+            for id in MappingId::ALL {
+                let m = mapping_on(id, geom);
+                for pa in (0..4096u64)
+                    .map(|i| i * 64)
+                    .chain([1 << 30, 1 << 33, (1 << 33) | (1 << 31)])
+                {
+                    let c = m.decode(pa);
+                    assert_eq!(m.encode(c), pa & !63, "{id:?} {geom:?} pa={pa:#x}");
+                }
+                // Consecutive blocks must still interleave finely across
+                // channels (generic layout puts channel bits low).
+                let coords: Vec<_> = (0..16u64).map(|b| m.decode(b * 64)).collect();
+                assert!(coords.windows(2).any(|w| w[0].channel != w[1].channel));
+                assert!(coords.windows(2).any(|w| w[0].bankgroup != w[1].bankgroup));
+            }
         }
     }
 

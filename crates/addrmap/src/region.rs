@@ -374,6 +374,13 @@ pub struct KeyRuns {
 }
 
 impl KeyRuns {
+    /// Mean same-key run length over one period, in blocks — the analytic
+    /// memory tier's row-switch-rate estimate for region fills.
+    pub fn mean_run_len(&self) -> f64 {
+        let runs: u64 = self.starts.iter().map(|w| w.count_ones() as u64).sum();
+        self.per_period as f64 / runs.max(1) as f64
+    }
+
     /// Number of consecutive region blocks sharing one window key,
     /// starting at global satisfying-block index `m` (inclusive): the
     /// distance from `m` to the next run boundary, clipped to the end of

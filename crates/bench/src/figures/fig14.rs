@@ -28,7 +28,7 @@ pub fn run(scale: Scale) -> FigureResult {
             let spec = GemmSpec::new(1024, 4096, n);
             let r = simulate_gemm(&sys, &spec, level);
             let e = analyze(&EnergyParams::default(), &r, level);
-            let w = e.power_per_device_w(r.total, device_count(&sys.dram));
+            let w = e.power_per_device_w(r.total, device_count(&sys.dram), sys.dram.clock_hz);
             (level, n, e, w, e.pj_per_op(&spec))
         })
         .collect();

@@ -17,11 +17,35 @@ pub mod table1;
 pub mod table2;
 
 use stepstone_core::SystemConfig;
+use stepstone_dram::{BackendKind, DramConfig};
 
 /// The baseline evaluated system (Skylake mapping, DDR4-2400R, DMA
-/// localization).
+/// localization), optionally retargeted by environment:
+///
+/// * `STEPSTONE_BACKEND` — `exact` (default) or `analytic`; selects the
+///   timing tier every figure driver simulates on.
+/// * `STEPSTONE_PRESET` — `ddr4` (default), `ddr5`, `lpddr5`, or `hbm2`;
+///   selects the DRAM device preset (timing, clock, channel width).
+///
+/// Unset variables leave the paper's evaluated system untouched, so the
+/// committed figure outputs are reproduced bit-identically by default.
 pub fn baseline_system() -> SystemConfig {
-    SystemConfig::default()
+    let mut sys = SystemConfig::default();
+    if let Ok(name) = std::env::var("STEPSTONE_BACKEND") {
+        if !name.is_empty() {
+            sys.backend = BackendKind::by_name(&name)
+                .unwrap_or_else(|| panic!("unknown STEPSTONE_BACKEND '{name}'"));
+        }
+    }
+    if let Ok(name) = std::env::var("STEPSTONE_PRESET") {
+        if !name.is_empty() {
+            sys = sys.with_dram(
+                DramConfig::by_name(&name)
+                    .unwrap_or_else(|| panic!("unknown STEPSTONE_PRESET '{name}'")),
+            );
+        }
+    }
+    sys
 }
 
 /// Format cycles compactly.

@@ -30,6 +30,7 @@ use stepstone_core::engine::{
 use stepstone_core::{
     simulate_pow2_gemm_exec, ExecMode, GemmSpec, LatencyReport, SimOptions, SystemConfig,
 };
+use stepstone_dram::BackendKind;
 
 fn assert_reports_equal(a: &LatencyReport, b: &LatencyReport, what: &str) {
     assert_eq!(a.total, b.total, "{what}: total cycles");
@@ -118,6 +119,71 @@ fn matrix_parallel_trace_fastpath_match_frozen_seed() {
         }
     }
     assert!(admitted > 0, "some matrix config admits hinted runs");
+}
+
+/// PR 7 backend axis: {exact, analytic} × {parallel on/off} × {run-granular
+/// on/off}. The exact tier must stay bit-identical to the frozen seed under
+/// every knob combination; the analytic tier must land within its
+/// documented error band (0.5×–2× of exact, see `core::analytic`) and must
+/// preserve the *relative latency ordering* of the workload shapes, which
+/// is what the fast tier is for (design-space pruning, not cycle returns).
+#[test]
+fn matrix_backend_tiers_exact_and_analytic() {
+    let _serial = knob_lock();
+    let _guard = FastPathGuard(set_span_fast_path(true));
+    let _guard_rg = RunGranularGuard(set_run_granular(true));
+    // Table-I-flavored shapes (scaled to test budget), distinct enough to
+    // have a meaningful latency order.
+    let shapes: &[(usize, usize, usize)] = &[(256, 1024, 2), (512, 2048, 4), (1024, 4096, 4)];
+    let mut exact_totals = Vec::new();
+    let mut analytic_totals = Vec::new();
+    for &(m, k, n) in shapes {
+        let spec = GemmSpec::new(m, k, n);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let seed = simulate_pow2_gemm_seed(
+            &SystemConfig { parallel: false, ..SystemConfig::default() },
+            &spec,
+            &opts,
+        );
+        let mut analytic_seen: Option<u64> = None;
+        for parallel in [false, true] {
+            for rg in [false, true] {
+                set_run_granular(rg);
+                let sys = SystemConfig { parallel, ..SystemConfig::default() };
+                assert_eq!(sys.backend, BackendKind::Exact, "exact is the default tier");
+                let exact = simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                let what = format!("{m}x{k} N={n} exact parallel={parallel} rg={rg}");
+                assert_reports_equal(&exact, &seed, &what);
+
+                let asys = sys.clone().with_backend(BackendKind::Analytic);
+                let analytic =
+                    simulate_pow2_gemm_exec(&asys, &spec, &opts, None, ExecMode::Streaming);
+                set_run_granular(true);
+                // The closed-form tier is knob-independent: same answer
+                // whatever the engine scheduling configuration.
+                let prev = *analytic_seen.get_or_insert(analytic.total);
+                assert_eq!(analytic.total, prev, "{what}: analytic must ignore engine knobs");
+                let ratio = analytic.total as f64 / exact.total as f64;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{what}: analytic/exact ratio {ratio:.3} outside documented band"
+                );
+            }
+        }
+        exact_totals.push(seed.total);
+        analytic_totals.push(analytic_seen.unwrap());
+    }
+    let order = |v: &[u64]| {
+        let mut ix: Vec<usize> = (0..v.len()).collect();
+        ix.sort_by_key(|&i| v[i]);
+        ix
+    };
+    assert_eq!(
+        order(&exact_totals),
+        order(&analytic_totals),
+        "analytic must preserve the exact tier's latency ordering \
+         (exact {exact_totals:?}, analytic {analytic_totals:?})"
+    );
 }
 
 #[test]

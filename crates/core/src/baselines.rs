@@ -21,7 +21,9 @@ use crate::flow::{GemmContext, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::{PimLevel, RegionPlan, StepStoneAgen};
-use stepstone_dram::{CommandBus, TimingState, TrafficSource};
+use stepstone_dram::{
+    AnalyticState, BackendKind, CommandBus, MemoryBackend, TimingState, TrafficSource,
+};
 #[cfg(test)]
 use stepstone_dram::Port;
 use stepstone_pim::{KernelGranularity, LocalizationMode, PimLevelConfig};
@@ -57,24 +59,42 @@ fn simulate_pei_pow2(
         localization: Some(LocalizationMode::HostMediated { gap_cycles: HOST_COPY_GAP }),
     };
     let ctx = GemmContext::build(sys, spec, &opts);
-    let mut ts = TimingState::new(sys.dram);
-    if sys.trace {
-        ts.enable_trace();
+    match sys.backend {
+        BackendKind::Exact => {
+            let mut ts = TimingState::new(sys.dram);
+            if sys.trace {
+                ts.enable_trace();
+            }
+            simulate_pei_engine(&mut ts, sys, &opts, traffic, &ctx)
+        }
+        BackendKind::Analytic => {
+            let mut ts = AnalyticState::new(sys.dram);
+            simulate_pei_engine(&mut ts, sys, &opts, traffic, &ctx)
+        }
     }
+}
+
+fn simulate_pei_engine<B: MemoryBackend>(
+    ts: &mut B,
+    sys: &SystemConfig,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+    ctx: &GemmContext,
+) -> LatencyReport {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
-    let mut report = LatencyReport::default();
+    let mut report = LatencyReport { clock_hz: sys.dram.clock_hz, ..Default::default() };
     let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
 
     // The CPU writes B operand panels into PIM scratchpads over the channel.
     let mut loc = crate::flow::transfer_cursors(
-        &ctx,
+        ctx,
         &ctx.b_regions,
         true,
         Phase::Localization,
         0,
         HOST_COPY_GAP,
     );
-    let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
+    let loc_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Localization, loc_end);
 
     // Kernel: one command packet per cache block, in plain address order
@@ -119,7 +139,7 @@ fn simulate_pei_pow2(
             u
         })
         .collect();
-    let kernel_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
+    let kernel_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
     let mut activity = ActivityCounts::default();
     for u in &units {
         report.phase_cycles[Phase::Gemm.index()] =
@@ -131,17 +151,17 @@ fn simulate_pei_pow2(
 
     // The CPU reads back partial C from scratchpads.
     let mut red = crate::flow::transfer_cursors(
-        &ctx,
+        ctx,
         &ctx.c_regions,
         false,
         Phase::Reduction,
         kernel_end,
         HOST_COPY_GAP,
     );
-    let red_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+    let red_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Reduction, red_end - kernel_end);
     report.total = red_end;
-    report.dram = ts.stats;
+    report.dram = *ts.stats();
     report.activity = activity;
     report.backend = "PEI".into();
     report
@@ -175,12 +195,31 @@ fn simulate_ncho_pow2(
     // carves its own vector regions.
     let ctx = GemmContext::build(sys, spec, &opts);
     let cfg = PimLevelConfig::nominal(level);
-    let mut ts = TimingState::new(sys.dram);
-    if sys.trace {
-        ts.enable_trace();
+    match sys.backend {
+        BackendKind::Exact => {
+            let mut ts = TimingState::new(sys.dram);
+            if sys.trace {
+                ts.enable_trace();
+            }
+            simulate_ncho_engine(&mut ts, sys, spec, &cfg, traffic, &ctx)
+        }
+        BackendKind::Analytic => {
+            let mut ts = AnalyticState::new(sys.dram);
+            simulate_ncho_engine(&mut ts, sys, spec, &cfg, traffic, &ctx)
+        }
     }
+}
+
+fn simulate_ncho_engine<B: MemoryBackend>(
+    ts: &mut B,
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    cfg: &PimLevelConfig,
+    traffic: Option<&mut dyn TrafficSource>,
+    ctx: &GemmContext,
+) -> LatencyReport {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
-    let mut report = LatencyReport::default();
+    let mut report = LatencyReport { clock_hz: sys.dram.clock_hz, ..Default::default() };
     let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
 
     // Per-PIM vector regions: b (K f32, fully replicated — "requires copies
@@ -207,14 +246,14 @@ fn simulate_ncho_pow2(
     for _gemv in 0..spec.n {
         // Localize b_j to every PIM (host-mediated).
         let mut loc = crate::flow::transfer_cursors(
-            &ctx,
+            ctx,
             &b_regions,
             true,
             Phase::Localization,
             t,
             HOST_COPY_GAP,
         );
-        let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
+        let loc_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
         report.add_phase(Phase::Localization, loc_end - t);
 
         // GEMV kernel per PIM: fill b, stream all local A blocks, drain y —
@@ -269,7 +308,7 @@ fn simulate_ncho_pow2(
                 )
             })
             .collect();
-        let kernel_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
+        let kernel_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
         for u in &units {
             for p in [Phase::Gemm, Phase::FillB, Phase::DrainC] {
                 let i = p.index();
@@ -282,19 +321,19 @@ fn simulate_ncho_pow2(
 
         // Reduce y across all PIMs (host-mediated).
         let mut red = crate::flow::transfer_cursors(
-            &ctx,
+            ctx,
             &y_regions,
             false,
             Phase::Reduction,
             kernel_end,
             HOST_COPY_GAP,
         );
-        let red_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+        let red_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
         report.add_phase(Phase::Reduction, red_end - kernel_end);
         t = red_end;
     }
     report.total = t;
-    report.dram = ts.stats;
+    report.dram = *ts.stats();
     report.activity = activity;
     report.backend = "nCHO".into();
     report

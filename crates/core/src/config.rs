@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use stepstone_addr::agen::AgenRules;
 use stepstone_addr::{mapping_by_id, MappingId, XorMapping};
-use stepstone_dram::DramConfig;
+use stepstone_dram::{BackendKind, DramConfig};
 use stepstone_pim::{LaunchModel, LocalizationMode};
 
 /// Address-generation variants compared in Fig. 9.
@@ -44,6 +44,11 @@ pub struct SystemConfig {
     /// the equivalence test matrix). Tracing forces the serial engine and
     /// the exact per-block scheduling path; reports must be unchanged.
     pub trace: bool,
+    /// Which memory-model tier simulations run on. `Exact` (default) is
+    /// the cycle-exact Table-II model; `Analytic` swaps in the closed-form
+    /// fast tier for design-space sweeps (validation is force-disabled on
+    /// paths without a functional datapath).
+    pub backend: BackendKind,
 }
 
 impl Default for SystemConfig {
@@ -59,6 +64,7 @@ impl Default for SystemConfig {
             validate: false,
             parallel: true,
             trace: false,
+            backend: BackendKind::Exact,
         }
     }
 }
@@ -95,6 +101,19 @@ impl SystemConfig {
 
     pub fn with_localization(mut self, mode: LocalizationMode) -> Self {
         self.localization = mode;
+        self
+    }
+
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Swap the DRAM timing/geometry config (e.g. a `DramConfig` preset),
+    /// keeping the rest of the system unchanged. `mapping()` adapts the
+    /// address mapping to the new geometry automatically.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
         self
     }
 }

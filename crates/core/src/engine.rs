@@ -4,9 +4,15 @@
 //! lazily streamed step program (a [`StepSource`]: AGEN span programs,
 //! region cursors — materialized `Vec<Step>`s survive only as the frozen
 //! equivalence baseline). The engine repeatedly advances the cursor with
-//! the earliest desired issue time, so commits into the shared
-//! [`TimingState`] stay approximately time-ordered while PIM units with
-//! disjoint bank partitions proceed concurrently.
+//! the earliest desired issue time, so commits into the shared memory
+//! backend stay approximately time-ordered while PIM units with disjoint
+//! bank partitions proceed concurrently.
+//!
+//! The engine core is generic over [`MemoryBackend`] — the exact
+//! [`TimingState`](stepstone_dram::TimingState) Table-II model by default,
+//! or the analytic fast tier — and everything monomorphizes, so the
+//! default path compiles to the same code as when `TimingState` was
+//! hardwired.
 //!
 //! The per-unit model implements the paper's pipeline semantics (§III-A,
 //! §V-C): a 20-deep execution pipeline hides DRAM and AGEN latency; the
@@ -19,7 +25,9 @@ use crate::report::Phase;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use stepstone_addr::{DramCoord, XorMapping};
-use stepstone_dram::{CasKind, CommandBus, DramStats, Port, RunReply, TimingState, TrafficSource};
+use stepstone_dram::{
+    CasKind, CommandBus, DramStats, MemoryBackend, Port, RunReply, TrafficSource,
+};
 
 /// Process-wide override forcing the all-or-nothing span fast path off
 /// (see [`UnitCursor::advance_batch`]). Test-only: the equivalence matrix
@@ -773,7 +781,12 @@ impl<'a> UnitCursor<'a> {
     }
 
     /// Execute the next step.
-    pub fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
+    pub fn advance<B: MemoryBackend>(
+        &mut self,
+        ts: &mut B,
+        bus: &mut CommandBus,
+        mapping: &XorMapping,
+    ) {
         self.advance_impl(ts, bus, mapping, false)
     }
 
@@ -783,9 +796,9 @@ impl<'a> UnitCursor<'a> {
     /// [`UnitCursor::window_scope_uniform`]; additionally requires the
     /// front to be a row *hit* — a row-conflict front can legitimately lose
     /// to a later entry whose bank precharges earlier).
-    fn advance_impl(
+    fn advance_impl<B: MemoryBackend>(
         &mut self,
-        ts: &mut TimingState,
+        ts: &mut B,
         bus: &mut CommandBus,
         mapping: &XorMapping,
         allow_front: bool,
@@ -946,7 +959,7 @@ impl<'a> UnitCursor<'a> {
     /// steady row-hit run may stream arbitrarily far ahead of other units'
     /// scheduler turns: the FR-FCFS selection is provably the front entry
     /// (see `UnitCursor::window_scope_uniform`), the closed-form CAS
-    /// cadence of [`TimingState::access_run_with`] is exact, and same-row
+    /// cadence of [`MemoryBackend::access_run_with`] is exact, and same-row
     /// CAS commands read and write only the unit's own bank and datapath
     /// stamps — so commits from other (lagging) units cannot change them,
     /// and batch-issuing the whole run commutes with the per-block
@@ -955,9 +968,9 @@ impl<'a> UnitCursor<'a> {
     /// FR-FCFS probes of a mixed window — still waits for its exact
     /// scheduler turn, so results stay bit-identical to repeated
     /// [`UnitCursor::advance`] calls.
-    pub fn advance_batch(
+    pub fn advance_batch<B: MemoryBackend>(
         &mut self,
-        ts: &mut TimingState,
+        ts: &mut B,
         bus: &mut CommandBus,
         mapping: &XorMapping,
         fast: bool,
@@ -1132,7 +1145,12 @@ impl<'a> TrafficCursor<'a> {
         Some(self.arrival)
     }
 
-    fn advance(&mut self, ts: &mut TimingState, bus: &mut CommandBus, mapping: &XorMapping) {
+    fn advance<B: MemoryBackend>(
+        &mut self,
+        ts: &mut B,
+        bus: &mut CommandBus,
+        mapping: &XorMapping,
+    ) {
         let Some(req) = self.pending.take() else { return };
         let coord = mapping.decode(req.pa);
         let t = self.arrival.max(self.last_issue);
@@ -1152,8 +1170,8 @@ impl<'a> TrafficCursor<'a> {
 /// is a min-heap updated only for the unit that just advanced — identical
 /// scheduling to the seed's linear scan (lowest index wins ties), at
 /// O(log units) per step.
-pub fn run_phase(
-    ts: &mut TimingState,
+pub fn run_phase<B: MemoryBackend>(
+    ts: &mut B,
     bus: &mut CommandBus,
     mapping: &XorMapping,
     units: &mut [UnitCursor],
@@ -1164,8 +1182,8 @@ pub fn run_phase(
 }
 
 /// The serial phase engine over a pre-selected set of units.
-fn run_units(
-    ts: &mut TimingState,
+fn run_units<B: MemoryBackend>(
+    ts: &mut B,
     bus: &mut CommandBus,
     mapping: &XorMapping,
     units: &mut [&mut UnitCursor],
@@ -1183,6 +1201,7 @@ fn run_units(
     // and breaking the "front row hit starts no later than any window
     // sibling" inference.
     let fast = span_fast_path_enabled()
+        && ts.supports_closed_form_runs()
         && traffic.is_none()
         && !ts.config().refresh
         && !ts.trace_enabled()
@@ -1256,8 +1275,8 @@ fn run_units(
 /// `TrafficCursor` may roam across channels), when command tracing is
 /// active (the trace must stay time-ordered), or when fewer than two
 /// channel groups exist.
-pub fn run_phase_auto(
-    ts: &mut TimingState,
+pub fn run_phase_auto<B: MemoryBackend>(
+    ts: &mut B,
     bus: &mut CommandBus,
     mapping: &XorMapping,
     units: &mut [UnitCursor],
@@ -1281,11 +1300,11 @@ pub fn run_phase_auto(
         }
     }
     use rayon::prelude::*;
-    let results: Vec<(u32, TimingState, CommandBus, u64)> = groups
+    let results: Vec<(u32, B, CommandBus, u64)> = groups
         .into_par_iter()
         .map(|(ch, mut group)| {
             let mut lts = ts.clone();
-            lts.stats = DramStats::default();
+            *lts.stats_mut() = DramStats::default();
             let mut lbus = bus.clone();
             let end = run_units(&mut lts, &mut lbus, mapping, &mut group, None);
             (ch, lts, lbus, end)
@@ -1294,7 +1313,7 @@ pub fn run_phase_auto(
     let mut end = 0;
     for (ch, lts, lbus, group_end) in &results {
         ts.adopt_channel(lts, *ch);
-        ts.stats.merge(&lts.stats);
+        ts.stats_mut().merge(lts.stats());
         bus.adopt_channel(lbus, *ch as usize);
         end = end.max(*group_end);
     }
@@ -1304,6 +1323,7 @@ pub fn run_phase_auto(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stepstone_dram::TimingState;
     use stepstone_addr::{mapping_by_id, MappingId};
     use stepstone_dram::{DramConfig, TrafficReq};
 

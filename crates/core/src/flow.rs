@@ -25,7 +25,9 @@ use stepstone_addr::{
     AgenSpan, GroupAnalysis, KeyRuns, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
     SpanProgram, StepStoneAgen, XorMapping, BLOCK_BYTES, BLOCK_SHIFT,
 };
-use stepstone_dram::{CommandBus, Port, TimingState, TrafficSource};
+use stepstone_dram::{
+    AnalyticState, BackendKind, CommandBus, MemoryBackend, Port, TimingState, TrafficSource,
+};
 use stepstone_pim::{
     BufferPlan, KernelGranularity, LocalizationMode, PimLevelConfig, TransferPlan,
 };
@@ -88,6 +90,7 @@ pub fn simulate_gemm_opt(
 ) -> LatencyReport {
     let mut report = LatencyReport {
         backend: format!("STP-{}", opts.level_cfg.level.tag()),
+        clock_hz: sys.dram.clock_hz,
         ..Default::default()
     };
     for sub in spec.decompose_pow2() {
@@ -918,7 +921,12 @@ pub fn simulate_pow2_gemm(
 
 /// Simulate a single power-of-two GEMM with an explicit execution mode
 /// (see [`ExecMode`]; `Materialized` is the seed path kept for equivalence
-/// tests and benchmarks).
+/// tests and benchmarks). Dispatches on the system's memory-backend tier:
+/// `Exact` drives the phase engine over the cycle-exact [`TimingState`]
+/// (the default path — bit-identical to the pre-trait code); `Analytic`
+/// uses the closed-form executor (`crate::analytic`), falling back to the
+/// engine over [`AnalyticState`] when colocated traffic or tracing needs
+/// per-block scheduling.
 pub fn simulate_pow2_gemm_exec(
     sys: &SystemConfig,
     spec: &GemmSpec,
@@ -927,10 +935,45 @@ pub fn simulate_pow2_gemm_exec(
     mode: ExecMode,
 ) -> LatencyReport {
     let ctx = GemmContext::build(sys, spec, opts);
-    let mut ts = TimingState::new(sys.dram);
-    if sys.trace {
-        ts.enable_trace();
+    let mut report = match sys.backend {
+        BackendKind::Exact => {
+            let mut ts = TimingState::new(sys.dram);
+            if sys.trace {
+                ts.enable_trace();
+            }
+            simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, &ctx)
+        }
+        BackendKind::Analytic => {
+            if traffic.is_some() {
+                // The closed-form executor has no notion of interleaved
+                // foreign requests; drive the engine over the analytic
+                // per-bank state instead (still no Table-II bus model).
+                let mut ts = AnalyticState::new(sys.dram);
+                simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, &ctx)
+            } else {
+                crate::analytic::execute_pow2_gemm(sys, spec, opts, &ctx)
+            }
+        }
+    };
+    report.clock_hz = sys.dram.clock_hz;
+    if sys.validate {
+        let ok = crate::validate::validate_gemm(sys, spec, opts, &ctx);
+        assert!(ok, "functional validation failed for {spec}");
     }
+    report
+}
+
+/// The engine-driven GEMM simulation over any [`MemoryBackend`] — the body
+/// of [`simulate_pow2_gemm_exec`], generic so the exact path monomorphizes
+/// to the pre-trait code.
+fn simulate_pow2_gemm_engine<B: MemoryBackend>(
+    ts: &mut B,
+    sys: &SystemConfig,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+    mode: ExecMode,
+    ctx: &GemmContext,
+) -> LatencyReport {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let loc_mode = opts.localization.unwrap_or(sys.localization);
     let mut report = LatencyReport::default();
@@ -938,22 +981,22 @@ pub fn simulate_pow2_gemm_exec(
 
     // Phase 1: localization (B replication; source is CPU-cached, §IV).
     let mut loc =
-        transfer_cursors(&ctx, &ctx.b_regions, true, Phase::Localization, 0, loc_mode.inter_block_gap());
+        transfer_cursors(ctx, &ctx.b_regions, true, Phase::Localization, 0, loc_mode.inter_block_gap());
     let loc_end =
-        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Localization, loc_end);
 
     // Phase 2: the PIM kernels.
-    let remap = subset_remap(&ctx, sys, opts);
+    let remap = subset_remap(ctx, sys, opts);
     let mut units: Vec<UnitCursor> = (0..ctx.active_pims.len())
         .map(|pix| {
             let steps: Box<dyn StepSource + Send> = match mode {
-                ExecMode::Streaming => Box::new(KernelStream::new(&ctx, sys, opts, pix)),
+                ExecMode::Streaming => Box::new(KernelStream::new(ctx, sys, opts, pix)),
                 ExecMode::Materialized => {
-                    Box::new(PlainSteps(build_kernel_program_for(&ctx, sys, opts, pix).into_iter()))
+                    Box::new(PlainSteps(build_kernel_program_for(ctx, sys, opts, pix).into_iter()))
                 }
                 ExecMode::MaterializedSeedAgen => Box::new(PlainSteps(
-                    KernelStream::new(&ctx, sys, opts, pix)
+                    KernelStream::new(ctx, sys, opts, pix)
                         .with_seed_agen()
                         .collect::<Vec<_>>()
                         .into_iter(),
@@ -981,7 +1024,7 @@ pub fn simulate_pow2_gemm_exec(
         })
         .collect();
     let kernel_end =
-        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
 
     // Attribute kernel categories: the critical-path (max) PIM per category.
     let mut activity = ActivityCounts::default();
@@ -1002,7 +1045,7 @@ pub fn simulate_pow2_gemm_exec(
     // Phase 3: reduction of partial C.
     let kernel_end = units.iter().map(|u| u.end_time).max().unwrap_or(loc_end);
     let mut red = transfer_cursors(
-        &ctx,
+        ctx,
         &ctx.c_regions,
         false,
         Phase::Reduction,
@@ -1010,16 +1053,12 @@ pub fn simulate_pow2_gemm_exec(
         loc_mode.inter_block_gap(),
     );
     let red_end =
-        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     report.add_phase(Phase::Reduction, red_end - kernel_end);
 
     report.total = red_end;
-    report.dram = ts.stats;
+    report.dram = *ts.stats();
     report.activity = activity;
-    if sys.validate {
-        let ok = crate::validate::validate_gemm(sys, spec, opts, &ctx);
-        assert!(ok, "functional validation failed for {spec}");
-    }
     report
 }
 

@@ -15,6 +15,7 @@
 //! * functional end-to-end validation through the simulated memory
 //!   ([`validate`]).
 
+pub mod analytic;
 pub mod baselines;
 pub mod config;
 pub mod cpu;

@@ -84,7 +84,7 @@ impl ActivityCounts {
 }
 
 /// The result of simulating one GEMM (or one model layer) on a backend.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyReport {
     /// Cycles attributed to each phase (critical-path PIM per category).
     pub phase_cycles: [u64; 8],
@@ -95,6 +95,22 @@ pub struct LatencyReport {
     pub activity: ActivityCounts,
     /// Which backend produced this report (display tag, e.g. "STP-BG").
     pub backend: String,
+    /// DRAM command clock the cycle counts are denominated in (set from
+    /// the simulated `DramConfig`; presets differ from DDR4-2400's 1.2 GHz).
+    pub clock_hz: u64,
+}
+
+impl Default for LatencyReport {
+    fn default() -> Self {
+        Self {
+            phase_cycles: [0; 8],
+            total: 0,
+            dram: DramStats::default(),
+            activity: ActivityCounts::default(),
+            backend: String::new(),
+            clock_hz: 1_200_000_000,
+        }
+    }
 }
 
 impl LatencyReport {
@@ -126,9 +142,10 @@ impl LatencyReport {
         self.activity.merge(&o.activity);
     }
 
-    /// Wall-clock seconds at the DRAM/PIM clock.
+    /// Wall-clock seconds at the DRAM/PIM clock this report was simulated
+    /// under (`clock_hz`).
     pub fn seconds(&self) -> f64 {
-        stepstone_dram::DramConfig::cycles_to_seconds(self.total)
+        self.total as f64 / self.clock_hz as f64
     }
 }
 

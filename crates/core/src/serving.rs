@@ -18,7 +18,9 @@ use crate::flow::{transfer_cursors, GemmContext, KernelStream, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::PimLevel;
-use stepstone_dram::{CommandBus, TimingState, TrafficSource};
+use stepstone_dram::{
+    AnalyticState, BackendKind, CommandBus, MemoryBackend, TimingState, TrafficSource,
+};
 
 /// The largest per-kernel batch the PIMs run efficiently (§V-B splits to
 /// batch-32 chunks).
@@ -32,7 +34,11 @@ pub fn simulate_split_batch(
     n_total: usize,
     level: PimLevel,
 ) -> LatencyReport {
-    let mut report = LatencyReport { backend: format!("STP-{}/split", level.tag()), ..Default::default() };
+    let mut report = LatencyReport {
+        backend: format!("STP-{}/split", level.tag()),
+        clock_hz: sys.dram.clock_hz,
+        ..Default::default()
+    };
     let mut remaining = n_total;
     while remaining > 0 {
         let n = remaining.min(PIM_CHUNK_BATCH);
@@ -120,11 +126,36 @@ pub fn simulate_gemm_fused(
         cursor = ctx.layout.end().max(cursor + size);
         ctxs.push(ctx);
     }
-    let mut ts = TimingState::new(sys.dram);
+    match sys.backend {
+        BackendKind::Exact => {
+            let mut ts = TimingState::new(sys.dram);
+            if sys.trace {
+                ts.enable_trace();
+            }
+            simulate_fused_engine(&mut ts, sys, spec, opts, traffic, &ctxs)
+        }
+        BackendKind::Analytic => {
+            let mut ts = AnalyticState::new(sys.dram);
+            simulate_fused_engine(&mut ts, sys, spec, opts, traffic, &ctxs)
+        }
+    }
+}
+
+fn simulate_fused_engine<B: MemoryBackend>(
+    ts: &mut B,
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+    ctxs: &[GemmContext],
+) -> LatencyReport {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let loc_mode = opts.localization.unwrap_or(sys.localization);
-    let mut report =
-        LatencyReport { backend: format!("STP-{}/fused", opts.level_cfg.level.tag()), ..Default::default() };
+    let mut report = LatencyReport {
+        backend: format!("STP-{}/fused", opts.level_cfg.level.tag()),
+        clock_hz: sys.dram.clock_hz,
+        ..Default::default()
+    };
     let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
 
     // Pipelined phases: while sub-GEMM i's kernels stream on the internal
@@ -140,7 +171,7 @@ pub fn simulate_gemm_fused(
         loc_mode.inter_block_gap(),
     );
     let mut loc_done = run_phase_auto(
-        &mut ts,
+        ts,
         &mut bus,
         &ctxs[0].mapping,
         &mut loc0,
@@ -189,7 +220,7 @@ pub fn simulate_gemm_fused(
                 loc_mode.inter_block_gap(),
             ));
         }
-        run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut cursors, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut cursors, tcur.as_mut(), sys.parallel);
         kernel_end = cursors[..n_kernels].iter().map(|u| u.end_time).max().unwrap_or(start);
         if n_kernels < cursors.len() {
             loc_done = cursors[n_kernels..].iter().map(|u| u.end_time).max().unwrap_or(loc_done);
@@ -218,7 +249,7 @@ pub fn simulate_gemm_fused(
 
     // Phase 3: one reduction pass over every sub-matrix's partial C.
     let mut red_end = kernel_end;
-    for ctx in &ctxs {
+    for ctx in ctxs {
         let mut red = transfer_cursors(
             ctx,
             &ctx.c_regions,
@@ -228,11 +259,11 @@ pub fn simulate_gemm_fused(
             loc_mode.inter_block_gap(),
         );
         red_end =
-            run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+            run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
     }
     report.add_phase(Phase::Reduction, red_end - kernel_end);
     report.total = red_end;
-    report.dram = ts.stats;
+    report.dram = *ts.stats();
     report.activity = activity;
     report
 }

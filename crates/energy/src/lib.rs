@@ -63,12 +63,14 @@ impl EnergyReport {
         self.simd_j + self.scratchpad_j + self.dram_j + self.locred_j
     }
 
-    /// Average power per DRAM device in watts over `cycles`.
-    pub fn power_per_device_w(&self, cycles: u64, devices: u32) -> f64 {
+    /// Average power per DRAM device in watts over `cycles` of a command
+    /// clock running at `clock_hz` (take it from the simulated
+    /// `DramConfig` — presets differ from DDR4-2400's 1.2 GHz).
+    pub fn power_per_device_w(&self, cycles: u64, devices: u32, clock_hz: u64) -> f64 {
         if cycles == 0 {
             return 0.0;
         }
-        self.total_j() / DramConfig::cycles_to_seconds(cycles) / devices as f64
+        self.total_j() * clock_hz as f64 / cycles as f64 / devices as f64
     }
 
     /// Energy per multiply–accumulate in picojoules.
@@ -187,8 +189,9 @@ mod tests {
     #[test]
     fn power_per_device_is_plausible() {
         // Fig. 14 left: fractions of a watt up to ≈1.5 W per device.
+        let cfg = DramConfig::default();
         let (r, e) = run(16, PimLevel::BankGroup);
-        let w = e.power_per_device_w(r.total, device_count(&DramConfig::default()));
+        let w = e.power_per_device_w(r.total, device_count(&cfg), cfg.clock_hz);
         assert!(w > 0.01 && w < 5.0, "{w} W");
     }
 }
@@ -196,8 +199,14 @@ mod tests {
 /// Power-capped latency (§V-H: "if power exceeds the delivery/cooling
 /// budget for a chip or module, performance can be throttled"): scale the
 /// execution time so average per-device power meets `cap_w`.
-pub fn throttled_cycles(e: &EnergyReport, cycles: u64, devices: u32, cap_w: f64) -> u64 {
-    let p = e.power_per_device_w(cycles, devices);
+pub fn throttled_cycles(
+    e: &EnergyReport,
+    cycles: u64,
+    devices: u32,
+    clock_hz: u64,
+    cap_w: f64,
+) -> u64 {
+    let p = e.power_per_device_w(cycles, devices, clock_hz);
     if p <= cap_w {
         cycles
     } else {
@@ -218,9 +227,10 @@ mod throttle_tests {
         let r = simulate_gemm(&sys, &spec, PimLevel::BankGroup);
         let e = analyze(&EnergyParams::default(), &r, PimLevel::BankGroup);
         let devs = device_count(&sys.dram);
-        let p = e.power_per_device_w(r.total, devs);
-        assert_eq!(throttled_cycles(&e, r.total, devs, p * 2.0), r.total);
-        let capped = throttled_cycles(&e, r.total, devs, p / 2.0);
+        let hz = sys.dram.clock_hz;
+        let p = e.power_per_device_w(r.total, devs, hz);
+        assert_eq!(throttled_cycles(&e, r.total, devs, hz, p * 2.0), r.total);
+        let capped = throttled_cycles(&e, r.total, devs, hz, p / 2.0);
         assert!((capped as f64 / r.total as f64 - 2.0).abs() < 0.01);
     }
 }

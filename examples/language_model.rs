@@ -36,8 +36,9 @@ fn main() {
     }
     println!(
         "\ntotal MLP cycles across the generation: {total} \
-         ({:.0} us at the 1.2 GHz DRAM clock)",
-        total as f64 / 1.2e9 * 1e6
+         ({:.0} us at the {:.1} GHz DRAM clock)",
+        total as f64 / sys.dram.clock_hz as f64 * 1e6,
+        sys.dram.clock_hz as f64 / 1e9,
     );
     println!(
         "paper §V-B: \"XLM utilizes BG-level PIMs when N is small and, later, switches \

@@ -5,8 +5,9 @@
 //! per-block fallback split by cause (refresh / row / trace / traffic /
 //! other).
 //!
-//! Usage: `cargo run --release --example phase_time [M K N]`
-//! (defaults to 2048 2048 64 at StepStone-BG).
+//! Usage: `cargo run --release --example phase_time [M K N] \
+//!         [--backend=exact|analytic] [--preset=ddr4|ddr5|lpddr5|hbm2]`
+//! (defaults to 2048 2048 64 at StepStone-BG on the exact DDR4 tier).
 
 use std::time::Instant;
 use stepstone_addr::PimLevel;
@@ -15,16 +16,43 @@ use stepstone_core::engine::{
 };
 use stepstone_core::flow::{transfer_cursors, GemmContext, KernelStream};
 use stepstone_core::{GemmSpec, Phase, SimOptions, SystemConfig};
-use stepstone_dram::{CommandBus, TimingState};
+use stepstone_dram::{
+    AnalyticState, BackendKind, CommandBus, DramConfig, MemoryBackend, TimingState,
+};
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let (m, k, n) = if args.len() == 3 { (args[0], args[1], args[2]) } else { (2048, 2048, 64) };
-    let sys = SystemConfig { parallel: false, ..SystemConfig::default() };
+    let mut dims: Vec<usize> = Vec::new();
+    let mut backend = BackendKind::Exact;
+    let mut dram = DramConfig::default();
+    let mut preset = "ddr4".to_string();
+    for arg in std::env::args().skip(1) {
+        if let Some(name) = arg.strip_prefix("--backend=") {
+            backend = BackendKind::by_name(name)
+                .unwrap_or_else(|| panic!("unknown backend '{name}' (exact|analytic)"));
+        } else if let Some(name) = arg.strip_prefix("--preset=") {
+            dram = DramConfig::by_name(name)
+                .unwrap_or_else(|| panic!("unknown preset '{name}' (ddr4|ddr5|lpddr5|hbm2)"));
+            preset = name.to_string();
+        } else if let Ok(v) = arg.parse() {
+            dims.push(v);
+        }
+    }
+    let (m, k, n) =
+        if dims.len() == 3 { (dims[0], dims[1], dims[2]) } else { (2048, 2048, 64) };
+    let sys = SystemConfig { parallel: false, ..SystemConfig::default() }
+        .with_backend(backend)
+        .with_dram(dram);
+    println!("backend {} on {preset} ({} MHz)", backend.name(), dram.clock_hz / 1_000_000);
+    match sys.backend {
+        BackendKind::Exact => profile(&mut TimingState::new(sys.dram), &sys, m, k, n),
+        BackendKind::Analytic => profile(&mut AnalyticState::new(sys.dram), &sys, m, k, n),
+    }
+}
+
+fn profile<B: MemoryBackend>(ts: &mut B, sys: &SystemConfig, m: usize, k: usize, n: usize) {
     let spec = GemmSpec::new(m, k, n);
     let opts = SimOptions::stepstone(PimLevel::BankGroup);
-    let ctx = GemmContext::build(&sys, &spec, &opts);
-    let mut ts = TimingState::new(sys.dram);
+    let ctx = GemmContext::build(sys, &spec, &opts);
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
     let loc_mode = sys.localization;
 
@@ -58,8 +86,8 @@ fn main() {
         0,
         loc_mode.inter_block_gap(),
     );
-    let loc_end = run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut loc, None, sys.parallel);
-    let loc_blocks = ts.stats.accesses();
+    let loc_end = run_phase_auto(ts, &mut bus, &ctx.mapping, &mut loc, None, sys.parallel);
+    let loc_blocks = ts.stats().accesses();
     phase_stats("loc   ", t0, loc_blocks, run_counters());
 
     let t0 = Instant::now();
@@ -70,7 +98,7 @@ fn main() {
                 "pim",
                 ctx.pim_channel(ctx.active_pims[pix]),
                 opts.level_cfg.port(),
-                KernelStream::new(&ctx, &sys, &opts, pix),
+                KernelStream::new(&ctx, sys, &opts, pix),
                 loc_end,
                 opts.level_cfg.compute_cycles_per_block(ctx.n),
                 opts.level_cfg.simd_ops_per_block(ctx.n),
@@ -84,8 +112,8 @@ fn main() {
             u
         })
         .collect();
-    run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut units, None, sys.parallel);
-    let kern_blocks = ts.stats.accesses() - loc_blocks;
+    run_phase_auto(ts, &mut bus, &ctx.mapping, &mut units, None, sys.parallel);
+    let kern_blocks = ts.stats().accesses() - loc_blocks;
     phase_stats("kernel", t0, kern_blocks, run_counters());
 
     let kernel_end = units.iter().map(|u| u.end_time).max().unwrap_or(loc_end);
@@ -99,7 +127,7 @@ fn main() {
         kernel_end,
         loc_mode.inter_block_gap(),
     );
-    run_phase_auto(&mut ts, &mut bus, &ctx.mapping, &mut red, None, sys.parallel);
-    let red_blocks = ts.stats.accesses() - loc_blocks - kern_blocks;
+    run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, None, sys.parallel);
+    let red_blocks = ts.stats().accesses() - loc_blocks - kern_blocks;
     phase_stats("red   ", t0, red_blocks, run_counters());
 }
