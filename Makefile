@@ -45,7 +45,11 @@ ci: build test clippy doc matrix bench-smoke
 # bit-identical to the committed value, the analytic tier's (deterministic)
 # cycles must exact-match and its wall-clock speedup over exact must meet
 # the committed floor, and the DRAM preset smoke must reproduce every
-# preset's committed cycle count.
+# preset's committed cycle count. Serving (PR 8): the 1000-request load
+# sweep's percentiles, knee index, and session-cache counters are
+# deterministic and gated exact-match; the serial and parallel sweeps must
+# agree; the warm-session vs cold-start wall-clock differential must meet
+# its committed floor.
 bench-smoke:
 	cargo build --release -p stepstone-bench --bin bench_sim
 	rm -rf target/bench-smoke && mkdir -p target/bench-smoke
@@ -108,11 +112,29 @@ assert [p['name'] for p in bk['presets']]==[p['name'] for p in cbk['presets']], 
 assert all(p['sim_cycles']==q['sim_cycles'] and p['clock_hz']==q['clock_hz'] \
 for p,q in zip(bk['presets'],cbk['presets'])), \
 'preset smoke changed (deterministic; update BENCH_sim.json if intended)'; \
+sv=d['serving']; csv=c['serving']; \
+assert sv['serial_equals_parallel'] is True, 'parallel serving sweep diverged from serial'; \
+det=lambda s: [(p['mean_gap_cycles'],p['p50'],p['p95'],p['p99'],p['served'],p['rejected'],p['batches'],p['pim_batches']) for p in s['sweep']]; \
+assert det(sv)==det(csv), \
+'serving sweep percentiles changed (deterministic; update BENCH_sim.json if intended): %r vs committed %r' \
+% (det(sv), det(csv)); \
+assert sv['knee_index']==csv['knee_index'], \
+'saturation knee moved: index %d vs committed %d' % (sv['knee_index'], csv['knee_index']); \
+assert sv['sweep'][0]['rejected']==0 and sv['sweep'][-1]['rejected']>0, \
+'sweep no longer spans unloaded to saturated'; \
+wc=sv['warm_vs_cold']; cwc=csv['warm_vs_cold']; \
+assert wc['cycle_exact'] is True, 'warm and cold costers disagree on cycles'; \
+assert wc['speedup']>=wc['speedup_floor'], \
+'warm session only %.2fx faster than per-batch cold starts, floor %.1fx' \
+% (wc['speedup'], wc['speedup_floor']); \
+assert (wc['session_contexts'],wc['session_hits'],wc['session_misses'])== \
+(cwc['session_contexts'],cwc['session_hits'],cwc['session_misses']), \
+'session-cache build/reuse counts changed (deterministic; update BENCH_sim.json if intended)'; \
 par_ok='skipped (1 cpu)' if d['config']['threads']<2 else '%.2fx' % d['speedup_parallel_vs_serial']; \
 assert d['config']['threads']<2 or d['speedup_parallel_vs_serial']>=0.9, \
 'parallel engine slower than serial: %.2fx' % d['speedup_parallel_vs_serial']; \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets)' \
-% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets'])))"
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets, serving knee@%d warm %.1fx >= %.1fx)' \
+% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets']), sv['knee_index'], wc['speedup'], wc['speedup_floor']))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

@@ -32,6 +32,19 @@
 //!                "speedup_floor": 20.0,
 //!                "presets": [{"name":…, "sim_cycles":…, "clock_hz":…,
 //!                             "seconds":…}, …]},
+//!   "serving": {"requests": 1000, "mix": {…}, "queue_cap":…,
+//!               "max_batch_requests":…, "cost_table_entries":…,
+//!               "sweep": [{"mean_gap_cycles":…, "p50":…, "p95":…, "p99":…,
+//!                          "served":…, "rejected":…, "batches":…,
+//!                          "pim_batches":…, "mean_queue_depth":…,
+//!                          "channel_utilization":…}, …],
+//!               "knee_index":…, "knee_factor": 3.0,
+//!               "serial_equals_parallel": true,
+//!               "warm_vs_cold": {"requests":…, "warm_wall_ns":…,
+//!                                "cold_wall_ns":…, "speedup":…,
+//!                                "speedup_floor": 1.2, "cycle_exact": true,
+//!                                "session_contexts":…, "session_hits":…,
+//!                                "session_misses":…}},
 //!   "cycle_exact": true
 //! }
 //! ```
@@ -69,6 +82,11 @@ use stepstone_core::{
     SystemConfig,
 };
 use stepstone_dram::{BackendKind, DramConfig};
+use stepstone_serving::{
+    build_cost_table, find_knee, run_serving, sweep_loads, ColdCoster, ServingConfig,
+    ServingReport, SessionCoster,
+};
+use stepstone_workloads::{OpenLoopArrivals, RequestMix};
 
 struct Run {
     mode: &'static str,
@@ -230,6 +248,9 @@ fn main() {
     // ---- backend tiers (PR 7): analytic fast model + device presets ----
     let bk = backends_section(&sys, &spec, &opts, runs[0].wall_ns, runs[0].sim_cycles);
 
+    // ---- continuous serving (PR 8): load sweep + warm-vs-cold sessions ----
+    let sv = serving_section(&sys);
+
     let cycle_exact = runs.windows(2).all(|w| {
         w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
     });
@@ -331,6 +352,57 @@ fn main() {
         json.push_str(if i + 1 < bk.presets.len() { ",\n" } else { "\n" });
     }
     json.push_str("    ]\n  },\n");
+    json.push_str("  \"serving\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"requests\": {}, \"mix\": {{\"dlrm\": {:.2}, \"bert\": {:.2}, \"gpt2\": {:.2}}},",
+        sv.requests, sv.mix.dlrm, sv.mix.bert, sv.mix.gpt2,
+    );
+    let _ = writeln!(
+        json,
+        "    \"queue_cap\": {}, \"max_batch_requests\": {}, \"cost_table_entries\": {},",
+        sv.cfg.queue_cap, sv.cfg.max_batch_requests, sv.table_entries,
+    );
+    json.push_str("    \"sweep\": [\n");
+    for (i, (r, gap)) in sv.sweep.iter().zip(sv.gaps).enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"mean_gap_cycles\": {gap:.0}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+             \"served\": {}, \"rejected\": {}, \"batches\": {}, \"pim_batches\": {}, \
+             \"mean_queue_depth\": {:.3}, \"channel_utilization\": {:.4}}}",
+            r.p50,
+            r.p95,
+            r.p99,
+            r.served,
+            r.rejected,
+            r.batches,
+            r.pim_batches,
+            r.mean_queue_depth,
+            r.channel_utilization,
+        );
+        json.push_str(if i + 1 < sv.sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"knee_index\": {}, \"knee_factor\": 3.0, \"serial_equals_parallel\": {},",
+        sv.knee, sv.serial_equals_parallel,
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_vs_cold\": {{\"requests\": {}, \"warm_wall_ns\": {}, \"cold_wall_ns\": {}, \
+         \"speedup\": {:.2}, \"speedup_floor\": {SERVING_WARM_SPEEDUP_FLOOR:.1}, \
+         \"cycle_exact\": true, \"session_contexts\": {}, \"session_hits\": {}, \
+         \"session_misses\": {}}}",
+        sv.diff_requests,
+        sv.warm_wall_ns,
+        sv.cold_wall_ns,
+        sv.warm_speedup,
+        sv.session_contexts,
+        sv.session_hits,
+        sv.session_misses,
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -341,6 +413,113 @@ fn main() {
 /// must stay at least this much faster than the exact streaming engine on
 /// the paper-scale shape (`make bench-smoke` gates it).
 const ANALYTIC_SPEEDUP_FLOOR: f64 = 20.0;
+
+/// Warm-session wall-clock floor: a serving run priced by the persistent
+/// session executor must beat the same run priced by per-batch cold-start
+/// executors by at least this factor (`make bench-smoke` gates it; the
+/// measured ratio is far higher, the floor only guards the architecture).
+const SERVING_WARM_SPEEDUP_FLOOR: f64 = 1.2;
+
+struct ServingSection {
+    requests: u64,
+    mix: RequestMix,
+    cfg: ServingConfig,
+    table_entries: usize,
+    gaps: &'static [f64],
+    sweep: Vec<ServingReport>,
+    knee: usize,
+    serial_equals_parallel: bool,
+    diff_requests: u64,
+    warm_wall_ns: u128,
+    cold_wall_ns: u128,
+    warm_speedup: f64,
+    session_contexts: usize,
+    session_hits: u64,
+    session_misses: u64,
+}
+
+/// The continuous-serving benchmark (PR 8), on the analytic backend so the
+/// 1000-request sweep fits the smoke budget. Two halves:
+///
+/// * A five-point offered-load sweep over the recommendation-heavy
+///   DLRM/BERT/GPT2 mix, spanning unloaded to past-saturation. Everything
+///   but wall-clock is deterministic (seeded arrivals, table-priced
+///   batches), so the smoke gate exact-matches the percentiles, and the
+///   serial and `rayon::scope`-parallel sweeps must agree bit-for-bit.
+/// * The warm-vs-cold architecture differential: the same small trace
+///   priced by one persistent session executor vs a fresh executor per
+///   batch (the pre-refactor cold-start pipeline). Cycle-identical by
+///   construction — asserted — so the wall-clock ratio isolates the cost
+///   of rebuilding contexts/span programs/KeyRuns per request.
+fn serving_section(sys: &SystemConfig) -> ServingSection {
+    let asys = sys.clone().with_backend(BackendKind::Analytic);
+    let cfg = ServingConfig::for_system(&asys);
+    let mix = RequestMix::recommendation_heavy();
+    let t0 = Instant::now();
+    let table = build_cost_table(&asys);
+    let table_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+    const GAPS: &[f64] =
+        &[400_000_000.0, 100_000_000.0, 25_000_000.0, 6_250_000.0, 1_562_500.0];
+    let requests = 1000u64;
+    let serial = sweep_loads(&table, &cfg, 5, mix, requests, GAPS, false);
+    let sweep = sweep_loads(&table, &cfg, 5, mix, requests, GAPS, true);
+    let serial_equals_parallel = serial == sweep;
+    assert!(serial_equals_parallel, "parallel sweep diverged from serial");
+    let knee = find_knee(&sweep, 3.0);
+    println!(
+        "  serving: {} pass costs in {table_ms:.0} ms; {requests}-request sweep, \
+         knee at gap {:.0}",
+        table.len(),
+        GAPS[knee],
+    );
+    for (r, gap) in sweep.iter().zip(GAPS) {
+        println!(
+            "    gap {gap:>12.0}: p50 {:>11} p99 {:>11} served {:>4} rejected {:>4} \
+             util {:.3}",
+            r.p50, r.p99, r.served, r.rejected, r.channel_utilization,
+        );
+    }
+
+    let diff_requests = 40u64;
+    let dmix = RequestMix { dlrm: 0.8, bert: 0.2, gpt2: 0.0 };
+    let trace = OpenLoopArrivals::trace(23, dmix, 400_000.0, diff_requests);
+    let mut warm_coster = SessionCoster::new(asys.clone());
+    let t0 = Instant::now();
+    let warm = run_serving(&cfg, &trace, &mut warm_coster);
+    let warm_wall_ns = t0.elapsed().as_nanos();
+    let t0 = Instant::now();
+    let cold = run_serving(&cfg, &trace, &mut ColdCoster::new(asys));
+    let cold_wall_ns = t0.elapsed().as_nanos();
+    assert_eq!(warm, cold, "session layer changed serving cycles");
+    let session = warm_coster.executor().session();
+    let warm_speedup = cold_wall_ns as f64 / warm_wall_ns.max(1) as f64;
+    println!(
+        "  serving warm vs cold: {:.1} ms vs {:.1} ms ({warm_speedup:.1}x, floor \
+         {SERVING_WARM_SPEEDUP_FLOOR:.1}x; {} contexts, {} hits / {} misses)",
+        warm_wall_ns as f64 / 1e6,
+        cold_wall_ns as f64 / 1e6,
+        session.len(),
+        session.hits(),
+        session.misses(),
+    );
+    ServingSection {
+        requests,
+        mix,
+        cfg,
+        table_entries: table.len(),
+        gaps: GAPS,
+        sweep,
+        knee,
+        serial_equals_parallel,
+        diff_requests,
+        warm_wall_ns,
+        cold_wall_ns,
+        warm_speedup,
+        session_contexts: session.len(),
+        session_hits: session.hits(),
+        session_misses: session.misses(),
+    }
+}
 
 struct PresetSmoke {
     name: &'static str,

@@ -83,6 +83,40 @@ fn run_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<
     results.into_iter().map(|m| m.into_inner().unwrap().expect("result set")).collect()
 }
 
+/// A scope for spawning structured tasks — the `rayon::scope` subset the
+/// serving-load sweeps use. Built directly on [`std::thread::scope`]: every
+/// `spawn` is an OS thread joined before `scope` returns, so borrows of
+/// stack data from the enclosing frame are sound exactly as in rayon.
+///
+/// API-compatibility note: real rayon's `Scope` has a single `'scope`
+/// lifetime; the std-backed shim needs the underlying `'env` as well. Code
+/// written against this shim (closure-typed `|s|` / `|_|` spawns) compiles
+/// unchanged against real rayon, keeping the manifest swap trivial.
+pub struct Scope<'scope, 'env: 'scope> {
+    s: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope. The task may itself spawn more tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let s = self.s;
+        s.spawn(move || f(&Scope { s }));
+    }
+}
+
+/// Create a scope in which structured tasks can be spawned; returns once
+/// every spawned task (including nested spawns) has completed. Panics in
+/// spawned tasks propagate, as with rayon.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { s }))
+}
+
 /// Run two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -121,5 +155,53 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        use std::sync::Mutex;
+        let out: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        super::scope(|s| {
+            for i in 0..8 {
+                s.spawn({
+                    let out = &out;
+                    move |_| out.lock().unwrap().push(i)
+                });
+            }
+        });
+        let mut v = out.into_inner().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns_and_returns_value() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            s.spawn(|inner| {
+                n.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    n.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(n.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn scope_results_via_slot_vector() {
+        // The fill-disjoint-slots pattern the serving sweep uses.
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<Option<u64>>> = (0..5).map(|_| Mutex::new(None)).collect();
+        super::scope(|s| {
+            for (i, slot) in slots.iter().enumerate() {
+                s.spawn(move |_| *slot.lock().unwrap() = Some(i as u64 * i as u64));
+            }
+        });
+        let v: Vec<u64> = slots.into_iter().map(|m| m.into_inner().unwrap().unwrap()).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
     }
 }

@@ -17,8 +17,11 @@
 //!   round-robin across per-PIM regions.
 //!
 //! The model is *approximate by design*: command-bus slot contention,
-//! refresh, FR-FCFS reordering transients, and read↔write turnarounds are
-//! not modeled (they are second-order on the shapes the paper sweeps).
+//! FR-FCFS reordering transients, and read↔write turnarounds are not
+//! modeled (they are second-order on the shapes the paper sweeps). The
+//! four-activate window enters the row-switch floor (`tFAW/4` vs
+//! `tRC/banks`), and refresh — when enabled — is costed as a uniform
+//! `tREFI/(tREFI − tRFC)` availability stretch rather than discrete REFs.
 //! `crates/bench/tests/engine_matrix.rs` pins the error band against the
 //! exact tier and checks that relative latency ordering across Table-I
 //! shapes is preserved; `bench_sim` commits the speedup floor.
@@ -41,9 +44,11 @@ fn stream_cycles(cfg: &DramConfig, blocks: u64, run: f64, d: u64) -> (u64, u64) 
     let rows = (blocks as f64 / run.max(1.0)).ceil() as u64;
     // ACT/PRE of the next row pipelines under the current run across the
     // bank interleave; only the shortfall against the bank-cycle floor
-    // stalls the stream.
+    // stalls the stream. The four-activate window caps ACT cadence at one
+    // per tFAW/4 regardless of how many banks interleave, so the floor is
+    // the max of both constraints.
     let banks = (cfg.geom.banks_per_bankgroup as u64).max(1);
-    let floor = t.t_rc.div_ceil(banks);
+    let floor = t.t_rc.div_ceil(banks).max(t.t_faw.div_ceil(4));
     let per_row = (run.max(1.0) as u64).saturating_mul(d);
     let excess = floor.saturating_sub(per_row);
     // First access of the stage opens its row.
@@ -217,6 +222,22 @@ pub(crate) fn execute_pow2_gemm(
     activity.agen_max_step = 1;
 
     report.total = kernel_end + red_cycles;
+
+    // Refresh costing: with all-bank REF enabled, each tREFI window loses
+    // tRFC cycles of array availability, stretching every phase by
+    // tREFI / (tREFI − tRFC). Off by default — the factor is exactly 1.0
+    // and the closed form stays bit-identical to the committed counters.
+    if cfg.refresh && t.t_refi > t.t_rfc {
+        let stretch = t.t_refi as f64 / (t.t_refi - t.t_rfc) as f64;
+        let inflate = |c: u64| (c as f64 * stretch).round() as u64;
+        for c in report.phase_cycles.iter_mut() {
+            *c = inflate(*c);
+        }
+        report.total = inflate(report.total);
+        let ranks = (cfg.geom.channels * cfg.geom.ranks_per_channel) as u64;
+        stats.refreshes = report.total / t.t_refi.max(1) * ranks;
+    }
+
     report.dram = stats;
     report.activity = activity;
     report
@@ -280,6 +301,54 @@ mod tests {
             r.dram.reads_by_port[Port::BgInternal.index()]
         );
         assert_eq!(r.clock_hz, stepstone_dram::DramConfig::default().clock_hz);
+    }
+
+    #[test]
+    fn tfaw_ceiling_binds_when_faw_exceeds_bank_cycle() {
+        // Synthetic part where tFAW/4 dominates tRC/banks: short rows must
+        // pay the four-activate shortfall.
+        let mut cfg = stepstone_dram::DramConfig::default();
+        let base = stream_cycles(&cfg, 1024, 2.0, 6).0;
+        cfg.timing.t_faw = 400; // tFAW/4 = 100 ≫ tRC/banks
+        let capped = stream_cycles(&cfg, 1024, 2.0, 6).0;
+        assert!(capped > base, "capped={capped} base={base}");
+        // Long same-row runs cover the window; no penalty either way.
+        let long_base = stream_cycles(&cfg, 1024, 64.0, 6).0;
+        cfg.timing.t_faw = 26;
+        assert_eq!(stream_cycles(&cfg, 1024, 64.0, 6).0, long_base);
+    }
+
+    #[test]
+    fn preset_tfaw_never_exceeds_bank_cycle_floor() {
+        // On every shipped part the bank-interleave floor dominates, so
+        // adding the tFAW term leaves committed preset cycles unchanged.
+        for name in stepstone_dram::DramConfig::PRESET_NAMES {
+            let cfg = stepstone_dram::DramConfig::by_name(name).unwrap();
+            let t = &cfg.timing;
+            let banks = (cfg.geom.banks_per_bankgroup as u64).max(1);
+            assert!(
+                t.t_faw.div_ceil(4) <= t.t_rc.div_ceil(banks),
+                "{name}: tFAW/4={} > tRC/banks={}",
+                t.t_faw.div_ceil(4),
+                t.t_rc.div_ceil(banks)
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_costing_stretches_analytic_latency() {
+        let fast = SystemConfig::default().with_backend(BackendKind::Analytic);
+        let mut refreshed = fast.clone();
+        refreshed.dram.refresh = true;
+        let spec = GemmSpec::new(1024, 4096, 4);
+        let off = simulate_gemm(&fast, &spec, PimLevel::BankGroup);
+        let on = simulate_gemm(&refreshed, &spec, PimLevel::BankGroup);
+        assert!(on.total > off.total, "on={} off={}", on.total, off.total);
+        // The stretch is tREFI/(tREFI-tRFC) ≈ 3.5% for DDR4-2400.
+        let ratio = on.total as f64 / off.total as f64;
+        assert!((1.0..1.10).contains(&ratio), "ratio={ratio}");
+        assert!(on.dram.refreshes > 0);
+        assert_eq!(off.dram.refreshes, 0);
     }
 
     #[test]

@@ -1161,6 +1161,21 @@ impl<'a> TrafficCursor<'a> {
         self.queueing_cycles += bt.cas_at.saturating_sub(self.arrival);
         self.served += 1;
     }
+
+    /// Serve every tenant request arriving at or before `t` — the serving
+    /// loop's idle-gap catch-up between back-to-back PIM passes, when no
+    /// phase engine is running to interleave the cursor.
+    pub fn drain_until<B: MemoryBackend>(
+        &mut self,
+        ts: &mut B,
+        bus: &mut CommandBus,
+        mapping: &XorMapping,
+        t: u64,
+    ) {
+        while self.peek_arrival().is_some_and(|a| a <= t) {
+            self.advance(ts, bus, mapping);
+        }
+    }
 }
 
 /// Run all unit cursors (and optional colocated traffic) to completion.

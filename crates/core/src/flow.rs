@@ -110,6 +110,141 @@ pub fn simulate_gemm_opt(
     report
 }
 
+/// Everything shape-dependent that a [`GemmContext`] build consumes: the
+/// GEMM shape plus the option fields that change the mapping analysis,
+/// buffer plan, span programs, or KeyRuns tables. Two requests with equal
+/// keys (under one [`SystemConfig`]) can share one context.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SessionKey {
+    pub spec: GemmSpec,
+    pub level: PimLevel,
+    pub subset_drop_bits: u32,
+    /// Scratchpad capacity drives the buffer plan (nominal vs relaxed).
+    pub scratchpad_bytes: u64,
+    /// [`KernelGranularity`] as a stable tag (it does not derive `Hash`).
+    pub granularity: u8,
+}
+
+impl SessionKey {
+    pub fn new(spec: &GemmSpec, opts: &SimOptions) -> Self {
+        Self {
+            spec: *spec,
+            level: opts.level_cfg.level,
+            subset_drop_bits: opts.subset_drop_bits,
+            scratchpad_bytes: opts.level_cfg.scratchpad_bytes,
+            granularity: match opts.granularity {
+                KernelGranularity::CoarseStepStone => 0,
+                KernelGranularity::PerDotProduct => 1,
+                KernelGranularity::PerCacheBlock => 2,
+            },
+        }
+    }
+}
+
+/// The persistent session layer of the serving architecture: shape-keyed
+/// reuse of [`GemmContext`]s (mapping analysis, span programs, KeyRuns,
+/// region plans) across requests. Build once per distinct shape, execute
+/// per request — execution itself stays cycle-exact because timing state
+/// is per-pass, not cached.
+///
+/// Shared by reference (`Arc<SessionCache>`) between executors and serving
+/// loops; interior mutability keeps the call sites `&self`.
+#[derive(Default)]
+pub struct SessionCache {
+    ctxs: std::sync::Mutex<rustc_hash::FxHashMap<SessionKey, std::sync::Arc<GemmContext>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl SessionCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached context for `(spec, opts)` under `sys`, building (and
+    /// retaining) it on first use. `spec` must already be power-of-two.
+    pub fn context(
+        &self,
+        sys: &SystemConfig,
+        spec: &GemmSpec,
+        opts: &SimOptions,
+    ) -> std::sync::Arc<GemmContext> {
+        use std::sync::atomic::Ordering;
+        let key = SessionKey::new(spec, opts);
+        if let Some(ctx) = self.ctxs.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ctx.clone();
+        }
+        // Build outside the lock: context construction is the expensive
+        // part and concurrent sweep threads should not serialize on it.
+        // A racing duplicate build is benign (last insert wins).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ctx = std::sync::Arc::new(GemmContext::build(sys, spec, opts));
+        self.ctxs.lock().unwrap().insert(key, ctx.clone());
+        ctx
+    }
+
+    /// Requests served from an already-built context.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Contexts built (first-use requests).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Distinct shapes resident.
+    pub fn len(&self) -> usize {
+        self.ctxs.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`simulate_gemm_opt`] through the persistent session layer: identical
+/// report (the build/execute split is behavioral refactoring, not a model
+/// change), but repeated shapes skip the context build entirely.
+pub fn simulate_gemm_session(
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    cache: &SessionCache,
+    mut traffic: Option<&mut dyn TrafficSource>,
+) -> LatencyReport {
+    let mut report = LatencyReport {
+        backend: format!("STP-{}", opts.level_cfg.level.tag()),
+        clock_hz: sys.dram.clock_hz,
+        ..Default::default()
+    };
+    for sub in spec.decompose_pow2() {
+        let ctx = cache.context(sys, &sub, opts);
+        let r = simulate_pow2_gemm_ctx(
+            sys,
+            &sub,
+            opts,
+            stepstone_dram::traffic::reborrow(&mut traffic),
+            ExecMode::Streaming,
+            &ctx,
+            0,
+        );
+        report.chain(&r);
+    }
+    report.backend = format!(
+        "{}-{}",
+        match opts.granularity {
+            KernelGranularity::CoarseStepStone =>
+                if opts.subset_drop_bits > 0 { "STP/subset" } else { "STP" },
+            KernelGranularity::PerDotProduct => "eCHO",
+            KernelGranularity::PerCacheBlock => "PEI",
+        },
+        opts.level_cfg.level.tag()
+    );
+    report
+}
+
 /// The static execution context shared by schedule building and validation.
 pub struct GemmContext {
     pub mapping: XorMapping,
@@ -935,13 +1070,30 @@ pub fn simulate_pow2_gemm_exec(
     mode: ExecMode,
 ) -> LatencyReport {
     let ctx = GemmContext::build(sys, spec, opts);
+    simulate_pow2_gemm_ctx(sys, spec, opts, traffic, mode, &ctx, 0)
+}
+
+/// [`simulate_pow2_gemm_exec`] over a pre-built (possibly session-cached)
+/// context, starting at virtual time `t0`. The report's cycle counts are
+/// *relative* to `t0` (latency, not absolute completion time), so a request
+/// simulated at any offset yields the same report as one at time zero when
+/// timing is shift-invariant (refresh disabled — the default).
+pub fn simulate_pow2_gemm_ctx(
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    traffic: Option<&mut dyn TrafficSource>,
+    mode: ExecMode,
+    ctx: &GemmContext,
+    t0: u64,
+) -> LatencyReport {
     let mut report = match sys.backend {
         BackendKind::Exact => {
             let mut ts = TimingState::new(sys.dram);
             if sys.trace {
                 ts.enable_trace();
             }
-            simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, &ctx)
+            simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, ctx, t0)
         }
         BackendKind::Analytic => {
             if traffic.is_some() {
@@ -949,15 +1101,15 @@ pub fn simulate_pow2_gemm_exec(
                 // foreign requests; drive the engine over the analytic
                 // per-bank state instead (still no Table-II bus model).
                 let mut ts = AnalyticState::new(sys.dram);
-                simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, &ctx)
+                simulate_pow2_gemm_engine(&mut ts, sys, opts, traffic, mode, ctx, t0)
             } else {
-                crate::analytic::execute_pow2_gemm(sys, spec, opts, &ctx)
+                crate::analytic::execute_pow2_gemm(sys, spec, opts, ctx)
             }
         }
     };
     report.clock_hz = sys.dram.clock_hz;
     if sys.validate {
-        let ok = crate::validate::validate_gemm(sys, spec, opts, &ctx);
+        let ok = crate::validate::validate_gemm(sys, spec, opts, ctx);
         assert!(ok, "functional validation failed for {spec}");
     }
     report
@@ -965,7 +1117,9 @@ pub fn simulate_pow2_gemm_exec(
 
 /// The engine-driven GEMM simulation over any [`MemoryBackend`] — the body
 /// of [`simulate_pow2_gemm_exec`], generic so the exact path monomorphizes
-/// to the pre-trait code.
+/// to the pre-trait code. Creates a fresh command bus and traffic cursor;
+/// the serving layer's persistent-state variant is
+/// [`simulate_pow2_gemm_resident`].
 fn simulate_pow2_gemm_engine<B: MemoryBackend>(
     ts: &mut B,
     sys: &SystemConfig,
@@ -973,18 +1127,40 @@ fn simulate_pow2_gemm_engine<B: MemoryBackend>(
     traffic: Option<&mut dyn TrafficSource>,
     mode: ExecMode,
     ctx: &GemmContext,
+    t0: u64,
 ) -> LatencyReport {
     let mut bus = CommandBus::new(sys.dram.geom.channels as usize);
+    let mut tcur = traffic.map(|t| TrafficCursor::new(t, t0));
+    simulate_pow2_gemm_resident(ts, &mut bus, sys, opts, tcur.as_mut(), mode, ctx, t0)
+}
+
+/// One GEMM pass over *persistent* memory-system state: the caller owns the
+/// timing state, command bus, and (optionally) a colocated-traffic cursor
+/// that all survive across back-to-back requests — the substrate of the
+/// continuous serving simulator. The pass starts at virtual time `t0`
+/// (which must be at or after every prior pass's completion on `ts`), and
+/// the returned report counts cycles relative to `t0`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pow2_gemm_resident<B: MemoryBackend>(
+    ts: &mut B,
+    bus: &mut CommandBus,
+    sys: &SystemConfig,
+    opts: &SimOptions,
+    mut tcur: Option<&mut TrafficCursor>,
+    mode: ExecMode,
+    ctx: &GemmContext,
+    t0: u64,
+) -> LatencyReport {
     let loc_mode = opts.localization.unwrap_or(sys.localization);
     let mut report = LatencyReport::default();
-    let mut tcur = traffic.map(|t| TrafficCursor::new(t, 0));
+    let stats0 = *ts.stats();
 
     // Phase 1: localization (B replication; source is CPU-cached, §IV).
     let mut loc =
-        transfer_cursors(ctx, &ctx.b_regions, true, Phase::Localization, 0, loc_mode.inter_block_gap());
+        transfer_cursors(ctx, &ctx.b_regions, true, Phase::Localization, t0, loc_mode.inter_block_gap());
     let loc_end =
-        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut loc, tcur.as_mut(), sys.parallel);
-    report.add_phase(Phase::Localization, loc_end);
+        run_phase_auto(ts, bus, &ctx.mapping, &mut loc, tcur.as_deref_mut(), sys.parallel);
+    report.add_phase(Phase::Localization, loc_end - t0);
 
     // Phase 2: the PIM kernels.
     let remap = subset_remap(ctx, sys, opts);
@@ -1024,7 +1200,7 @@ fn simulate_pow2_gemm_engine<B: MemoryBackend>(
         })
         .collect();
     let kernel_end =
-        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut units, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, bus, &ctx.mapping, &mut units, tcur.as_deref_mut(), sys.parallel);
 
     // Attribute kernel categories: the critical-path (max) PIM per category.
     let mut activity = ActivityCounts::default();
@@ -1053,11 +1229,11 @@ fn simulate_pow2_gemm_engine<B: MemoryBackend>(
         loc_mode.inter_block_gap(),
     );
     let red_end =
-        run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+        run_phase_auto(ts, bus, &ctx.mapping, &mut red, tcur, sys.parallel);
     report.add_phase(Phase::Reduction, red_end - kernel_end);
 
-    report.total = red_end;
-    report.dram = *ts.stats();
+    report.total = red_end - t0;
+    report.dram = ts.stats().delta(&stats0);
     report.activity = activity;
     report
 }
@@ -1250,5 +1426,113 @@ mod tests {
         )
         .total;
         assert!(relaxed < nominal, "relaxed={relaxed} nominal={nominal}");
+    }
+
+    /// The session layer must be a pure build/execute split: routing
+    /// repeated requests through the shared [`SessionCache`] yields
+    /// bit-identical reports to the cold-start path, while only the first
+    /// request of each shape pays the context build.
+    #[test]
+    fn session_cache_reports_are_cycle_exact_and_warm() {
+        let s = sys();
+        let cache = SessionCache::new();
+        // A non-pow2 batch exercises decomposition inside the session path.
+        let specs =
+            [GemmSpec::new(512, 512, 3), GemmSpec::new(256, 1024, 4), GemmSpec::new(512, 512, 3)];
+        for (i, spec) in specs.iter().enumerate() {
+            let opts = SimOptions::stepstone(PimLevel::BankGroup);
+            let cold = simulate_gemm_opt(&s, spec, &opts, None);
+            let warm = simulate_gemm_session(&s, spec, &opts, &cache, None);
+            assert_eq!(cold.total, warm.total, "request {i}: totals diverge");
+            assert_eq!(cold.phase_cycles, warm.phase_cycles, "request {i}");
+            assert_eq!(cold.dram, warm.dram, "request {i}: dram stats diverge");
+        }
+        // Decomposition splits m/k only (N rides along), so the mix has
+        // two distinct pow2 shapes; the repeat of spec[0] is the lone hit.
+        assert_eq!(cache.len() as u64, cache.misses());
+        assert_eq!(cache.len(), 2, "len={}", cache.len());
+        assert_eq!(cache.hits(), 1, "hits={}", cache.hits());
+    }
+
+    /// Distinct option sets that change the build must get distinct
+    /// contexts — level, subset bits, scratchpad, granularity all key.
+    #[test]
+    fn session_key_separates_build_relevant_options() {
+        let spec = GemmSpec::new(512, 512, 4);
+        let base = SimOptions::stepstone(PimLevel::BankGroup);
+        let keys = [
+            SessionKey::new(&spec, &base),
+            SessionKey::new(&spec, &SimOptions::stepstone(PimLevel::Device)),
+            SessionKey::new(&spec, &base.clone().with_subset(1)),
+            SessionKey::new(
+                &spec,
+                &base.clone().with_level_cfg(PimLevelConfig::relaxed(PimLevel::BankGroup)),
+            ),
+            SessionKey::new(&spec, &SimOptions::echo(PimLevel::BankGroup)),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    /// Timing is shift-invariant with refresh disabled (the default): a
+    /// pass started at a large virtual offset reports the same per-request
+    /// latency as one at time zero. This is what makes session-layer
+    /// service times reusable at any point in a serving timeline.
+    #[test]
+    fn resident_pass_is_shift_invariant() {
+        let s = sys();
+        let spec = GemmSpec::new(512, 512, 4);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let ctx = GemmContext::build(&s, &spec, &opts);
+        let r0 = simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 0);
+        let r1 =
+            simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 1 << 30);
+        assert_eq!(r0.total, r1.total);
+        assert_eq!(r0.phase_cycles, r1.phase_cycles);
+        assert_eq!(r0.dram, r1.dram);
+    }
+
+    /// Back-to-back passes over one persistent timing state + bus report
+    /// per-request (not cumulative) cycles and DRAM counters. The first
+    /// pass on pristine state matches the one-shot path exactly; later
+    /// passes move the same blocks but inherit residual bank state (open
+    /// rows, ACT history) from the previous request, so their latency may
+    /// drift by a few row cycles — bounded here to 2%.
+    #[test]
+    fn resident_passes_report_per_request_deltas() {
+        use stepstone_dram::{CommandBus, TimingState};
+        let s = sys();
+        let spec = GemmSpec::new(512, 512, 4);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let ctx = GemmContext::build(&s, &spec, &opts);
+        let oneshot = simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 0);
+        let mut ts = TimingState::new(s.dram);
+        let mut bus = CommandBus::new(s.dram.geom.channels as usize);
+        let mut t = 0u64;
+        for pass in 0..3 {
+            let r = simulate_pow2_gemm_resident(
+                &mut ts,
+                &mut bus,
+                &s,
+                &opts,
+                None,
+                ExecMode::Streaming,
+                &ctx,
+                t,
+            );
+            if pass == 0 {
+                assert_eq!(r.total, oneshot.total, "pristine pass");
+                assert_eq!(r.dram, oneshot.dram, "pristine pass");
+            } else {
+                assert_eq!(r.dram.reads, oneshot.dram.reads, "pass {pass}");
+                assert_eq!(r.dram.writes, oneshot.dram.writes, "pass {pass}");
+                let drift = r.total.abs_diff(oneshot.total) as f64 / oneshot.total as f64;
+                assert!(drift < 0.02, "pass {pass}: total={} drift={drift}", r.total);
+            }
+            t += r.total;
+        }
     }
 }

@@ -174,6 +174,27 @@ impl DramStats {
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Counters accumulated since an earlier snapshot `base` of the same
+    /// state — what one request contributed to a persistent serving-mode
+    /// timing state. Saturating so a foreign snapshot cannot panic.
+    pub fn delta(&self, base: &DramStats) -> DramStats {
+        let mut d = DramStats {
+            reads: self.reads.saturating_sub(base.reads),
+            writes: self.writes.saturating_sub(base.writes),
+            acts: self.acts.saturating_sub(base.acts),
+            row_hits: self.row_hits.saturating_sub(base.row_hits),
+            row_misses: self.row_misses.saturating_sub(base.row_misses),
+            data_cycles: self.data_cycles.saturating_sub(base.data_cycles),
+            refreshes: self.refreshes.saturating_sub(base.refreshes),
+            ..DramStats::default()
+        };
+        for i in 0..3 {
+            d.reads_by_port[i] = self.reads_by_port[i].saturating_sub(base.reads_by_port[i]);
+            d.writes_by_port[i] = self.writes_by_port[i].saturating_sub(base.writes_by_port[i]);
+        }
+        d
+    }
 }
 
 /// The shared timing state of the whole DRAM system.

@@ -12,10 +12,11 @@
 use crate::layers::{ModelGraph, Op};
 use serde::{Deserialize, Serialize};
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 use stepstone_addr::PimLevel;
 use stepstone_core::{
-    simulate_gemm, simulate_gemm_opt, simulate_ncho, simulate_pei, CpuModel, GemmSpec,
-    IdealCpuModel, SimOptions, SystemConfig,
+    choose_backend, options_for, simulate_gemm_session, simulate_ncho, simulate_pei, Backend,
+    CpuModel, GemmSpec, IdealCpuModel, SessionCache, SimOptions, SystemConfig,
 };
 
 /// The execution schemes compared in Fig. 8.
@@ -106,17 +107,74 @@ fn cpu_other_cycles(bytes: u64, flops: u64) -> u64 {
     (mem.max(comp) + 2_000.0) as u64
 }
 
-/// The end-to-end executor with per-shape memoization.
+/// What the serving layer's per-GEMM backend selection decided and what it
+/// costs (see [`ModelExecutor::selected_cost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectedCost {
+    pub backend: Backend,
+    pub cycles: u64,
+    /// DRAM data-bus busy cycles of the PIM simulation (0 for CPU-routed
+    /// GEMMs) — the serving report's channel-utilization numerator.
+    pub data_cycles: u64,
+}
+
+/// Cost of one full model pass split by execution side — the serving
+/// loop's batch service time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PassCost {
+    pub pim_cycles: u64,
+    pub cpu_cycles: u64,
+    pub data_cycles: u64,
+    pub pim_gemms: usize,
+    pub cpu_gemms: usize,
+}
+
+impl PassCost {
+    /// End-to-end service time: the simulator serializes a pass's operators
+    /// (no intra-request overlap modeled across the PIM/CPU boundary).
+    pub fn total(&self) -> u64 {
+        self.pim_cycles + self.cpu_cycles
+    }
+}
+
+/// The end-to-end executor with per-shape memoization. GEMM simulations
+/// route through a persistent [`SessionCache`], so a long-lived executor
+/// (one per serving loop) builds each distinct shape's context once and
+/// reuses its span programs and KeyRuns across every later request.
 pub struct ModelExecutor {
     pub sys: SystemConfig,
     pub cpu: CpuModel,
     pub icpu: IdealCpuModel,
+    session: Arc<SessionCache>,
     cache: FxHashMap<(GemmSpec, Scheme), (u64, Bucket)>,
+    select_cache: FxHashMap<GemmSpec, SelectedCost>,
 }
 
 impl ModelExecutor {
     pub fn new(sys: SystemConfig) -> Self {
-        Self { sys, cpu: CpuModel::default(), icpu: IdealCpuModel::default(), cache: FxHashMap::default() }
+        Self::with_session(sys, Arc::new(SessionCache::new()))
+    }
+
+    /// An executor sharing an existing session cache — serving loops and
+    /// sweep workers pool their shape-keyed contexts this way.
+    pub fn with_session(sys: SystemConfig, session: Arc<SessionCache>) -> Self {
+        Self {
+            sys,
+            cpu: CpuModel::default(),
+            icpu: IdealCpuModel::default(),
+            session,
+            cache: FxHashMap::default(),
+            select_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The shared session cache (shape-keyed contexts + hit counters).
+    pub fn session(&self) -> &Arc<SessionCache> {
+        &self.session
+    }
+
+    fn stp(&self, spec: &GemmSpec, opts: &SimOptions) -> stepstone_core::LatencyReport {
+        simulate_gemm_session(&self.sys, spec, opts, &self.session, None)
     }
 
     /// Execute one GEMM under a scheme; returns (cycles, bucket).
@@ -129,29 +187,17 @@ impl ModelExecutor {
             Scheme::Cpu => cpu,
             Scheme::ICpu => (self.icpu.cycles(&spec), Bucket::CpuGemm),
             Scheme::StpStar => {
-                let dv = simulate_gemm(&self.sys, &spec, PimLevel::Device).total;
+                let dv = self.stp(&spec, &SimOptions::stepstone(PimLevel::Device)).total;
                 pick(&[(dv, Bucket::PimDv), cpu])
             }
             Scheme::Stp => {
-                let dv = simulate_gemm(&self.sys, &spec, PimLevel::Device).total;
-                let bg = simulate_gemm(&self.sys, &spec, PimLevel::BankGroup).total;
+                let dv = self.stp(&spec, &SimOptions::stepstone(PimLevel::Device)).total;
+                let bg = self.stp(&spec, &SimOptions::stepstone(PimLevel::BankGroup)).total;
                 pick(&[(bg, Bucket::PimBg), (dv, Bucket::PimDv), cpu])
             }
             Scheme::Echo => {
-                let dv = simulate_gemm_opt(
-                    &self.sys,
-                    &spec,
-                    &SimOptions::echo(PimLevel::Device),
-                    None,
-                )
-                .total;
-                let bg = simulate_gemm_opt(
-                    &self.sys,
-                    &spec,
-                    &SimOptions::echo(PimLevel::BankGroup),
-                    None,
-                )
-                .total;
+                let dv = self.stp(&spec, &SimOptions::echo(PimLevel::Device)).total;
+                let bg = self.stp(&spec, &SimOptions::echo(PimLevel::BankGroup)).total;
                 pick(&[(bg, Bucket::PimBg), (dv, Bucket::PimDv), cpu])
             }
             Scheme::Ncho => {
@@ -188,6 +234,56 @@ impl ModelExecutor {
             }
         }
         report
+    }
+
+    /// Serving-mode selection for one GEMM: run §III-E's heuristic
+    /// (`choose_backend`), then simulate the winner cycle-exactly through
+    /// the session cache. Memoized per shape — under steady request
+    /// streams only the first request of a shape pays simulation.
+    pub fn selected_cost(&mut self, spec: GemmSpec) -> SelectedCost {
+        if let Some(&hit) = self.select_cache.get(&spec) {
+            return hit;
+        }
+        let backend = choose_backend(&self.sys, &spec, &self.cpu);
+        let cost = match backend {
+            Backend::Cpu => {
+                SelectedCost { backend, cycles: self.cpu.cycles(&spec), data_cycles: 0 }
+            }
+            Backend::Pim { .. } => {
+                let r = self.stp(&spec, &options_for(backend));
+                SelectedCost { backend, cycles: r.total, data_cycles: r.dram.data_cycles }
+            }
+        };
+        self.select_cache.insert(spec, cost);
+        cost
+    }
+
+    /// Cost one whole model pass under serving-mode selection, split by
+    /// execution side. This is the serving loop's batch service time.
+    pub fn pass_cost(&mut self, model: &ModelGraph) -> PassCost {
+        let mut pass = PassCost::default();
+        for op in &model.ops {
+            match op {
+                Op::Gemm(spec) => {
+                    let c = self.selected_cost(*spec);
+                    match c.backend {
+                        Backend::Cpu => {
+                            pass.cpu_cycles += c.cycles;
+                            pass.cpu_gemms += 1;
+                        }
+                        Backend::Pim { .. } => {
+                            pass.pim_cycles += c.cycles;
+                            pass.data_cycles += c.data_cycles;
+                            pass.pim_gemms += 1;
+                        }
+                    }
+                }
+                Op::CpuOp { bytes, flops, .. } => {
+                    pass.cpu_cycles += cpu_other_cycles(*bytes, *flops);
+                }
+            }
+        }
+        pass
     }
 }
 
@@ -250,5 +346,38 @@ mod tests {
         let _ = ex.run(&model, Scheme::Stp);
         // BERT has only 3 distinct GEMM shapes.
         assert_eq!(ex.cache.len(), 3);
+    }
+
+    #[test]
+    fn executors_share_one_session_cache() {
+        // Two executors over the same Arc pool contexts: the second run
+        // of the same model builds nothing new.
+        let session = Arc::new(SessionCache::new());
+        let model = dlrm(4);
+        let mut a = ModelExecutor::with_session(SystemConfig::default(), session.clone());
+        let _ = a.run(&model, Scheme::Stp);
+        let built = session.misses();
+        assert!(built > 0);
+        let mut b = ModelExecutor::with_session(SystemConfig::default(), session.clone());
+        let _ = b.run(&model, Scheme::Stp);
+        assert_eq!(session.misses(), built, "second executor rebuilt contexts");
+        assert!(session.hits() > 0);
+    }
+
+    #[test]
+    fn pass_cost_covers_every_gemm_and_memoizes() {
+        let mut ex = ModelExecutor::new(SystemConfig::default());
+        let model = dlrm(8);
+        let gemms = model.ops.iter().filter(|op| matches!(op, Op::Gemm(_))).count();
+        let first = ex.pass_cost(&model);
+        assert_eq!(first.pim_gemms + first.cpu_gemms, gemms);
+        assert!(first.total() > 0);
+        assert!(first.pim_gemms > 0, "{first:?}");
+        // Steady state: a repeat pass is pure table lookups with the same
+        // answer.
+        let misses = ex.session().misses();
+        let again = ex.pass_cost(&model);
+        assert_eq!(first, again);
+        assert_eq!(ex.session().misses(), misses);
     }
 }

@@ -5,5 +5,5 @@
 pub mod executor;
 pub mod layers;
 
-pub use executor::{Bucket, ModelExecutor, ModelReport, Scheme};
+pub use executor::{Bucket, ModelExecutor, ModelReport, PassCost, Scheme, SelectedCost};
 pub use layers::{all_models, bert, dlrm, gpt2, xlm, ModelGraph, Op};

@@ -1,0 +1,33 @@
+//! The continuous serving simulator: a persistent request-serving
+//! architecture over the StepStone PIM simulation stack.
+//!
+//! Every entry point below this crate simulates one GEMM or one model pass;
+//! this crate closes the loop the paper's headline claim is actually about
+//! — Table-I recommendation/language-model layers under sustained traffic:
+//!
+//! * [`server`] — the virtual-time event loop: open-loop arrivals feed an
+//!   admission + dynamic-batching queue, batches route through the PIM/CPU
+//!   crossover, and every request is completion-stamped.
+//! * [`metrics`] — per-request records folded into p50/p95/p99 latency,
+//!   queue depth, and channel utilization.
+//! * [`sweep`] — offered-load sweeps (serial or `rayon::scope`-parallel)
+//!   and the saturation-knee finder; plus the warm-session vs per-request
+//!   cold-start costers whose differential `bench_sim` commits.
+//! * [`tenant`] — colocated CPU tenants over *persistent* DRAM timing
+//!   state, via the resident engine entry point
+//!   (`simulate_pow2_gemm_resident`) and `TrafficCursor::drain_until`.
+//!
+//! Methodology notes live in `docs/serving.md`.
+
+pub mod metrics;
+pub mod server;
+pub mod sweep;
+pub mod tenant;
+
+pub use metrics::{percentile, RequestRecord, ServingReport};
+pub use server::{max_batch_samples, run_serving, BatchCoster, ServingConfig};
+pub use sweep::{
+    build_cost_table, classes, find_knee, sweep_loads, ColdCoster, CostTable, SessionCoster,
+    TableCoster,
+};
+pub use tenant::TenantServer;

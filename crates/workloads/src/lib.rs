@@ -4,7 +4,9 @@
 //! rationale).
 
 pub mod catalog;
+pub mod serving;
 pub mod traffic;
 
 pub use catalog::{default_weights, table1, CatalogEntry};
+pub use serving::{OpenLoopArrivals, Request, RequestKind, RequestMix};
 pub use traffic::{spec_like_profiles, SyntheticTraffic, TrafficProfile};

@@ -1,0 +1,192 @@
+//! Open-loop request streams for the continuous serving simulator.
+//!
+//! The paper's headline workloads (Table I) are recommendation and
+//! language-model layers served under real traffic; this module turns the
+//! catalog's model graphs into a *request process*: seeded Poisson arrivals
+//! over virtual DRAM cycles, each request naming a model kind and a batch
+//! of user samples. The process is open-loop — arrival times never depend
+//! on service completion — so saturation shows up as unbounded queueing
+//! rather than a silently throttled generator (the standard serving-bench
+//! methodology; see `docs/serving.md`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The model family a request asks for (mirrors `models::catalog`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    Dlrm,
+    Bert,
+    Gpt2,
+}
+
+impl RequestKind {
+    pub const ALL: [RequestKind; 3] = [RequestKind::Dlrm, RequestKind::Bert, RequestKind::Gpt2];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Dlrm => "dlrm",
+            RequestKind::Bert => "bert",
+            RequestKind::Gpt2 => "gpt2",
+        }
+    }
+
+    /// Largest per-request sample count the generator draws for this kind.
+    /// BERT requests carry a sequence dimension (8 tokens per sample), so
+    /// their sample counts stay small to keep GEMM N within Table-I range.
+    pub fn max_samples(self) -> usize {
+        match self {
+            RequestKind::Dlrm => 64,
+            RequestKind::Bert => 4,
+            RequestKind::Gpt2 => 8,
+        }
+    }
+}
+
+/// One inference request: a model kind, a number of user samples riding in
+/// it, and its (virtual-cycle) arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub id: u64,
+    pub kind: RequestKind,
+    pub samples: usize,
+    pub arrival: u64,
+}
+
+/// Relative arrival weights of the three model families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestMix {
+    pub dlrm: f64,
+    pub bert: f64,
+    pub gpt2: f64,
+}
+
+impl RequestMix {
+    /// The default serving mix: recommendation-heavy, as in production
+    /// serving fleets, with both language models present.
+    pub fn recommendation_heavy() -> Self {
+        Self { dlrm: 0.6, bert: 0.25, gpt2: 0.15 }
+    }
+
+    pub fn uniform() -> Self {
+        Self { dlrm: 1.0, bert: 1.0, gpt2: 1.0 }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> RequestKind {
+        let total = self.dlrm + self.bert + self.gpt2;
+        let mut pick = rng.gen::<f64>() * total;
+        pick -= self.dlrm;
+        if pick <= 0.0 {
+            return RequestKind::Dlrm;
+        }
+        pick -= self.bert;
+        if pick <= 0.0 {
+            return RequestKind::Bert;
+        }
+        RequestKind::Gpt2
+    }
+}
+
+/// A seeded open-loop Poisson arrival process: exponential inter-arrival
+/// gaps around `mean_gap_cycles`, model kinds drawn from the mix, sample
+/// counts uniform in `1..=kind.max_samples()`. Deterministic per seed.
+#[derive(Debug)]
+pub struct OpenLoopArrivals {
+    rng: StdRng,
+    mix: RequestMix,
+    mean_gap_cycles: f64,
+    now: u64,
+    next_id: u64,
+    remaining: u64,
+}
+
+impl OpenLoopArrivals {
+    pub fn new(seed: u64, mix: RequestMix, mean_gap_cycles: f64, requests: u64) -> Self {
+        assert!(mean_gap_cycles >= 1.0, "offered load above one request per cycle");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            mean_gap_cycles,
+            now: 0,
+            next_id: 0,
+            remaining: requests,
+        }
+    }
+
+    /// Materialize the whole request trace (arrival-sorted by
+    /// construction).
+    pub fn trace(seed: u64, mix: RequestMix, mean_gap_cycles: f64, requests: u64) -> Vec<Request> {
+        Self::new(seed, mix, mean_gap_cycles, requests).collect()
+    }
+}
+
+impl Iterator for OpenLoopArrivals {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u: f64 = self.rng.gen_range(0.0f64..1.0).max(1e-9);
+        let gap = (-self.mean_gap_cycles * u.ln()).round().max(1.0) as u64;
+        self.now += gap;
+        let kind = self.mix.draw(&mut self.rng);
+        let samples = self.rng.gen_range(0..kind.max_samples()) + 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Request { id, kind, samples, arrival: self.now })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let mix = RequestMix::recommendation_heavy();
+        let a = OpenLoopArrivals::trace(11, mix, 50_000.0, 200);
+        let b = OpenLoopArrivals::trace(11, mix, 50_000.0, 200);
+        let c = OpenLoopArrivals::trace(12, mix, 50_000.0, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_with_unique_ids() {
+        let trace = OpenLoopArrivals::trace(3, RequestMix::uniform(), 10_000.0, 500);
+        assert_eq!(trace.len(), 500);
+        for w in trace.windows(2) {
+            // Gaps are clamped to ≥ 1 cycle, so arrivals strictly increase.
+            assert!(w[1].arrival > w[0].arrival);
+            assert_eq!(w[1].id, w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_offered_load() {
+        let trace = OpenLoopArrivals::trace(7, RequestMix::uniform(), 20_000.0, 2000);
+        let span = trace.last().unwrap().arrival as f64;
+        let mean = span / trace.len() as f64;
+        assert!((10_000.0..40_000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn mix_weights_shape_the_kind_distribution() {
+        let trace =
+            OpenLoopArrivals::trace(5, RequestMix::recommendation_heavy(), 1_000.0, 3000);
+        let count =
+            |k: RequestKind| trace.iter().filter(|r| r.kind == k).count() as f64 / 3000.0;
+        assert!(count(RequestKind::Dlrm) > 0.5);
+        assert!(count(RequestKind::Bert) > 0.1);
+        assert!(count(RequestKind::Gpt2) > 0.05);
+    }
+
+    #[test]
+    fn samples_respect_per_kind_caps() {
+        for r in OpenLoopArrivals::trace(9, RequestMix::uniform(), 5_000.0, 1000) {
+            assert!(r.samples >= 1 && r.samples <= r.kind.max_samples(), "{r:?}");
+        }
+    }
+}

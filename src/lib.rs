@@ -12,8 +12,11 @@
 //! * [`core`] — the StepStone GEMM flow, baselines, CPU/GPU models.
 //! * [`models`] — end-to-end DLRM / BERT / GPT2 / XLM inference.
 //! * [`energy`] — power and energy accounting.
-//! * [`workloads`] — GEMM catalog and colocated-CPU traffic generators.
+//! * [`workloads`] — GEMM catalog, colocated-CPU traffic generators, and
+//!   open-loop request streams.
 //! * [`roofline`] — roofline models for Figs. 1 and 7.
+//! * [`serving`] — the continuous serving simulator (admission, dynamic
+//!   batching, load sweeps, colocated tenants).
 //!
 //! # Quick start
 //!
@@ -35,6 +38,7 @@ pub use stepstone_energy as energy;
 pub use stepstone_models as models;
 pub use stepstone_pim as pim;
 pub use stepstone_roofline as roofline;
+pub use stepstone_serving as serving;
 pub use stepstone_workloads as workloads;
 
 /// Commonly used items in one import.
