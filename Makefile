@@ -15,13 +15,16 @@ clippy:
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-# The engine equivalence matrix ({parallel} x {trace} x {fast path} vs the
-# frozen seed) and the window-successor differential suite, release-mode —
-# the all-or-nothing gating paths the debug run also covers, minus the
-# debug_assert slowdown on the larger shapes.
+# The engine equivalence matrix ({parallel} x {trace} x {fast path} x
+# {reduce-via} vs the frozen seed), the window-successor differential
+# suite, and the fabric conformance proptests (conservation, per-link
+# FIFO, ring==line degeneracy, input-order invariance, reduce
+# determinism), release-mode — the all-or-nothing gating paths the debug
+# run also covers, minus the debug_assert slowdown on the larger shapes.
 matrix:
 	cargo test --release -p stepstone-bench --test engine_matrix -q
 	cargo test --release -p stepstone-addr --test window_successor -q
+	cargo test --release -p stepstone-fabric -q
 
 # The merge gate for perf-relevant changes: build, test, lint, docs,
 # equivalence matrix, and validate BENCH_sim.json on the committed shape.
@@ -49,7 +52,12 @@ ci: build test clippy doc matrix bench-smoke
 # sweep's percentiles, knee index, and session-cache counters are
 # deterministic and gated exact-match; the serial and parallel sweeps must
 # agree; the warm-session vs cold-start wall-clock differential must meet
-# its committed floor.
+# its committed floor. Fabric (PR 9): the fabric section's host-DMA
+# reference, ring/line reduce cycle counts, fabric transit cycles, and
+# per-link stats (bytes, busy cycles, peak demand, active-span GB/s) are
+# all deterministic and gated exact-match against the committed file; the
+# run itself asserts the fabric arms leave the DRAM command stream
+# bit-identical to host-DMA.
 bench-smoke:
 	cargo build --release -p stepstone-bench --bin bench_sim
 	rm -rf target/bench-smoke && mkdir -p target/bench-smoke
@@ -122,6 +130,24 @@ assert sv['knee_index']==csv['knee_index'], \
 'saturation knee moved: index %d vs committed %d' % (sv['knee_index'], csv['knee_index']); \
 assert sv['sweep'][0]['rejected']==0 and sv['sweep'][-1]['rejected']>0, \
 'sweep no longer spans unloaded to saturated'; \
+fb=d['fabric']; cfb=c['fabric']; \
+assert fb['nodes']>=4, 'fabric spans %d nodes, need >= 4' % fb['nodes']; \
+assert fb['nodes']==cfb['nodes'], 'fabric node count changed'; \
+assert fb['dram_identical'] is True, 'fabric run perturbed the DRAM command stream'; \
+assert fb['host_dma']==cfb['host_dma'], \
+'fabric host-DMA reference changed: %r vs committed %r' % (fb['host_dma'], cfb['host_dma']); \
+ft={t['topology']: t for t in fb['topologies']}; cft={t['topology']: t for t in cfb['topologies']}; \
+assert set(ft)==set(cft)=={'ring','line'}, 'fabric topology set changed: %r' % sorted(ft); \
+assert all(ft[k][f]==cft[k][f] for k in ft for f in \
+('total_cycles','reduce_cycles','fabric_cycles','bytes_injected')), \
+'fabric cycle counts changed (deterministic; update BENCH_sim.json if intended): %r vs %r' \
+% ({k: ft[k]['reduce_cycles'] for k in ft}, {k: cft[k]['reduce_cycles'] for k in cft}); \
+assert all(ft[k]['links']==cft[k]['links'] and ft[k]['peak_link_gbps']==cft[k]['peak_link_gbps'] \
+for k in ft), 'fabric per-link stats changed (deterministic; update BENCH_sim.json if intended)'; \
+assert all(t['reduce_cycles']>=fb['host_dma']['reduce_cycles'] for t in fb['topologies']), \
+'fabric reduce undercut its own local drain'; \
+assert all(any(l['messages']>0 and l['peak_demand_bytes']>0 for l in t['links']) \
+for t in fb['topologies']), 'fabric moved no traffic'; \
 wc=sv['warm_vs_cold']; cwc=csv['warm_vs_cold']; \
 assert wc['cycle_exact'] is True, 'warm and cold costers disagree on cycles'; \
 assert wc['speedup']>=wc['speedup_floor'], \
@@ -133,8 +159,8 @@ assert (wc['session_contexts'],wc['session_hits'],wc['session_misses'])== \
 par_ok='skipped (1 cpu)' if d['config']['threads']<2 else '%.2fx' % d['speedup_parallel_vs_serial']; \
 assert d['config']['threads']<2 or d['speedup_parallel_vs_serial']>=0.9, \
 'parallel engine slower than serial: %.2fx' % d['speedup_parallel_vs_serial']; \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets, serving knee@%d warm %.1fx >= %.1fx)' \
-% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets']), sv['knee_index'], wc['speedup'], wc['speedup_floor']))"
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets, serving knee@%d warm %.1fx >= %.1fx, fabric %d nodes ring +%d cycles peak %.1f GB/s)' \
+% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets']), sv['knee_index'], wc['speedup'], wc['speedup_floor'], fb['nodes'], ft['ring']['fabric_cycles'], ft['ring']['peak_link_gbps']))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

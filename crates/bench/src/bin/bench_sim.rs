@@ -45,6 +45,16 @@
 //!                                "speedup_floor": 1.2, "cycle_exact": true,
 //!                                "session_contexts":…, "session_hits":…,
 //!                                "session_misses":…}},
+//!   "fabric": {"nodes":…, "link_bytes_per_cycle":…, "link_latency":…,
+//!              "host_dma": {"total_cycles":…, "reduce_cycles":…},
+//!              "topologies": [{"topology": "ring", "total_cycles":…,
+//!                              "reduce_cycles":…, "fabric_cycles":…,
+//!                              "bytes_injected":…, "peak_link_gbps":…,
+//!                              "links": [{"src":…, "dst":…, "bytes":…,
+//!                                         "busy_cycles":…, "messages":…,
+//!                                         "peak_demand_bytes":…,
+//!                                         "gbps":…}, …]}, …],
+//!              "dram_identical": true},
 //!   "cycle_exact": true
 //! }
 //! ```
@@ -78,8 +88,8 @@ use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
 use stepstone_core::engine::{reset_run_counters, run_counters, RunCounters, FB_LABELS};
 use stepstone_core::flow::build_kernel_program_for;
 use stepstone_core::{
-    simulate_pow2_gemm_exec, ExecMode, GemmContext, GemmSpec, LatencyReport, SimOptions,
-    SystemConfig,
+    simulate_pow2_gemm_exec, ExecMode, FabricConfig, FabricStats, GemmContext, GemmSpec,
+    LatencyReport, Phase, ReduceVia, SimOptions, SystemConfig, TopologyKind,
 };
 use stepstone_dram::{BackendKind, DramConfig};
 use stepstone_serving::{
@@ -189,6 +199,9 @@ fn main() {
     // serial run's stats go into the JSON.
     let mut rc_paper = RunCounters::default();
     let mut rc_parallel = RunCounters::default();
+    // The streaming run's full report doubles as the host-DMA reference for
+    // the fabric comparison (same shape, same engine, default reduce path).
+    let mut host_report: Option<LatencyReport> = None;
     for (label, resident, sim) in cases {
         stepstone_addr::agen::reset_agen_counters();
         reset_run_counters();
@@ -202,6 +215,7 @@ fn main() {
             rc_paper = rc;
         } else if label == "streaming" {
             rc_parallel = rc;
+            host_report = Some(report.clone());
         }
         let blocks = report.dram.accesses();
         println!(
@@ -250,6 +264,9 @@ fn main() {
 
     // ---- continuous serving (PR 8): load sweep + warm-vs-cold sessions ----
     let sv = serving_section(&sys);
+
+    // ---- inter-device fabric (PR 9): PIM-to-PIM reduce, line vs ring ----
+    let fb = fabric_section(&sys, &spec, &opts, host_report.as_ref().expect("streaming run"));
 
     let cycle_exact = runs.windows(2).all(|w| {
         w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
@@ -403,6 +420,52 @@ fn main() {
         sv.session_misses,
     );
     json.push_str("  },\n");
+    json.push_str("  \"fabric\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"nodes\": {}, \"link_bytes_per_cycle\": {}, \"link_latency\": {},",
+        fb.nodes, fb.link_bytes_per_cycle, fb.link_latency,
+    );
+    let _ = writeln!(
+        json,
+        "    \"host_dma\": {{\"total_cycles\": {}, \"reduce_cycles\": {}}},",
+        fb.host_total, fb.host_reduce,
+    );
+    json.push_str("    \"topologies\": [\n");
+    for (i, t) in fb.topos.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"topology\": \"{}\", \"total_cycles\": {}, \"reduce_cycles\": {}, \
+             \"fabric_cycles\": {}, \"bytes_injected\": {}, \"peak_link_gbps\": {:.3},",
+            t.stats.topology,
+            t.total_cycles,
+            t.reduce_cycles,
+            t.stats.reduce_fabric_cycles,
+            t.stats.bytes_injected,
+            t.peak_link_gbps,
+        );
+        json.push_str("       \"links\": [\n");
+        for (j, l) in t.stats.links.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"src\": {}, \"dst\": {}, \"bytes\": {}, \"busy_cycles\": {}, \
+                 \"messages\": {}, \"peak_demand_bytes\": {}, \"gbps\": {:.3}}}",
+                l.src,
+                l.dst,
+                l.bytes,
+                l.busy_cycles,
+                l.messages,
+                l.peak_demand_bytes,
+                l.gbps_active(fb.clock_hz),
+            );
+            json.push_str(if j + 1 < t.stats.links.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("       ]}");
+        json.push_str(if i + 1 < fb.topos.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"dram_identical\": true\n");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -518,6 +581,87 @@ fn serving_section(sys: &SystemConfig) -> ServingSection {
         session_contexts: session.len(),
         session_hits: session.hits(),
         session_misses: session.misses(),
+    }
+}
+
+struct FabricTopoRun {
+    total_cycles: u64,
+    reduce_cycles: u64,
+    peak_link_gbps: f64,
+    stats: FabricStats,
+}
+
+struct FabricSection {
+    nodes: usize,
+    link_bytes_per_cycle: u64,
+    link_latency: u64,
+    clock_hz: u64,
+    host_total: u64,
+    host_reduce: u64,
+    topos: Vec<FabricTopoRun>,
+}
+
+/// The inter-device fabric comparison (PR 9): the paper-scale GEMM on the
+/// exact tier with `ReduceVia::Fabric` over a ring and a line of the four
+/// DIMM-granular nodes, against the already-measured host-DMA streaming
+/// run. The fabric path reuses the identical Phase-3 drain through the
+/// memory backend and only *adds* PIM-to-PIM transit, so the DRAM command
+/// stream, activity counts, and every non-Reduction phase must match the
+/// host run bit for bit — asserted here, so `BENCH_sim.json` can never
+/// record a fabric section that silently perturbed the default path.
+/// Everything emitted (cycle counts, per-link byte/peak-demand stats, the
+/// active-span GB/s figure) is deterministic and exact-match gated by
+/// `make bench-smoke`.
+fn fabric_section(
+    sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    host: &LatencyReport,
+) -> FabricSection {
+    let cfg = FabricConfig::default();
+    let host_reduce = host.phase(Phase::Reduction);
+    let mut topos = Vec::new();
+    for kind in [TopologyKind::Ring, TopologyKind::Line] {
+        let fsys =
+            sys.clone().with_reduce_via(ReduceVia::Fabric).with_fabric(cfg.with_topology(kind));
+        let t0 = Instant::now();
+        let r = simulate_pow2_gemm_exec(&fsys, spec, opts, None, ExecMode::Streaming);
+        let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+        assert_eq!(r.dram, host.dram, "fabric reduce changed the DRAM command stream");
+        assert_eq!(r.activity, host.activity, "fabric reduce changed activity counts");
+        for p in Phase::ALL {
+            if p != Phase::Reduction {
+                assert_eq!(r.phase(p), host.phase(p), "fabric reduce perturbed {p:?}");
+            }
+        }
+        let stats = r.fabric.clone().expect("fabric stats under ReduceVia::Fabric");
+        assert_eq!(stats.bytes_injected, stats.bytes_delivered, "fabric lost bytes in flight");
+        assert!(stats.nodes >= 4, "paper-scale fabric must span >= 4 devices");
+        let peak =
+            stats.links.iter().map(|l| l.gbps_active(r.clock_hz)).fold(0.0f64, f64::max);
+        println!(
+            "  fabric {:<4} reduce {:>9} cycles (host-DMA {host_reduce}, +{} transit), \
+             {} nodes, peak link {peak:.1} GB/s, {wall_ms:.0} ms",
+            stats.topology,
+            r.phase(Phase::Reduction),
+            stats.reduce_fabric_cycles,
+            stats.nodes,
+        );
+        topos.push(FabricTopoRun {
+            total_cycles: r.total,
+            reduce_cycles: r.phase(Phase::Reduction),
+            peak_link_gbps: peak,
+            stats,
+        });
+    }
+    FabricSection {
+        nodes: topos[0].stats.nodes,
+        link_bytes_per_cycle: cfg.link_bytes_per_cycle,
+        link_latency: cfg.link_latency,
+        clock_hz: host.clock_hz,
+        host_total: host.total,
+        host_reduce,
+        topos,
     }
 }
 

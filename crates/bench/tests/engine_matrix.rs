@@ -28,7 +28,8 @@ use stepstone_core::engine::{
     reset_run_counters, run_counters, set_run_granular, set_span_fast_path,
 };
 use stepstone_core::{
-    simulate_pow2_gemm_exec, ExecMode, GemmSpec, LatencyReport, SimOptions, SystemConfig,
+    simulate_pow2_gemm_exec, ExecMode, FabricConfig, GemmSpec, LatencyReport, Phase, ReduceVia,
+    SimOptions, SystemConfig, TopologyKind,
 };
 use stepstone_dram::BackendKind;
 
@@ -184,6 +185,90 @@ fn matrix_backend_tiers_exact_and_analytic() {
         "analytic must preserve the exact tier's latency ordering \
          (exact {exact_totals:?}, analytic {analytic_totals:?})"
     );
+}
+
+/// PR 9 reduce axis: {host-dma, fabric(ring), fabric(line)} × {parallel
+/// on/off} × {run-granular on/off}. The host-DMA arm is the default and
+/// must stay bit-identical to the frozen seed under every knob. The fabric
+/// arms run the *same* per-channel Phase-3 drain through the memory
+/// backend — identical `DramStats` and identical non-Reduction phases —
+/// and then extend the reduction with the PIM→PIM transit, so Reduction is
+/// never shorter than host DMA's local drain and the report carries
+/// per-link fabric statistics. Each fabric arm must also be engine-knob
+/// invariant (the fabric schedule is deterministic).
+#[test]
+fn matrix_reduce_via_host_dma_and_fabric() {
+    let _serial = knob_lock();
+    let _guard = FastPathGuard(set_span_fast_path(true));
+    let _guard_rg = RunGranularGuard(set_run_granular(true));
+    let shapes: &[(usize, usize, usize)] = &[(256, 1024, 2), (512, 2048, 4)];
+    for &(m, k, n) in shapes {
+        let spec = GemmSpec::new(m, k, n);
+        let opts = SimOptions::stepstone(PimLevel::BankGroup);
+        let seed = simulate_pow2_gemm_seed(
+            &SystemConfig { parallel: false, ..SystemConfig::default() },
+            &spec,
+            &opts,
+        );
+        let mut fabric_seen: [Option<LatencyReport>; 2] = [None, None];
+        for parallel in [false, true] {
+            for rg in [false, true] {
+                set_run_granular(rg);
+                let sys = SystemConfig { parallel, ..SystemConfig::default() };
+                assert_eq!(sys.reduce_via, ReduceVia::HostDma, "host DMA is the default");
+                let host = simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                let what = format!("{m}x{k} N={n} host-dma parallel={parallel} rg={rg}");
+                assert_reports_equal(&host, &seed, &what);
+                assert!(host.fabric.is_none(), "{what}: no fabric stats on the default path");
+
+                for (tix, topo) in [TopologyKind::Ring, TopologyKind::Line].iter().enumerate() {
+                    let fsys = sys
+                        .clone()
+                        .with_reduce_via(ReduceVia::Fabric)
+                        .with_fabric(FabricConfig::default().with_topology(*topo));
+                    let fab =
+                        simulate_pow2_gemm_exec(&fsys, &spec, &opts, None, ExecMode::Streaming);
+                    let what = format!(
+                        "{m}x{k} N={n} fabric({}) parallel={parallel} rg={rg}",
+                        topo.tag()
+                    );
+                    // Composes with the memory backend: same DRAM command
+                    // stream, so the event counters match host DMA exactly.
+                    assert_eq!(fab.dram, host.dram, "{what}: DRAM counters");
+                    assert_eq!(fab.activity, host.activity, "{what}: activity");
+                    for p in [Phase::Gemm, Phase::FillB, Phase::FillC, Phase::DrainC,
+                              Phase::Localization, Phase::Launch] {
+                        assert_eq!(fab.phase(p), host.phase(p), "{what}: {p:?} cycles");
+                    }
+                    assert!(
+                        fab.phase(Phase::Reduction) >= host.phase(Phase::Reduction),
+                        "{what}: fabric reduce cannot beat its own local drain"
+                    );
+                    let stats = fab.fabric.as_ref().unwrap_or_else(|| {
+                        panic!("{what}: fabric stats missing")
+                    });
+                    assert_eq!(stats.topology, topo.tag(), "{what}");
+                    assert_eq!(stats.nodes, 4, "{what}: one node per DRAM channel");
+                    assert_eq!(stats.bytes_injected, stats.bytes_delivered, "{what}");
+                    assert!(stats.bytes_injected > 0, "{what}: partial sums moved");
+                    assert!(
+                        stats.links.iter().any(|l| l.messages > 0 && l.peak_demand_bytes > 0),
+                        "{what}: per-link peak-demand stats populated"
+                    );
+                    // Knob invariance: the fabric arm's whole report is a
+                    // pure function of the config, not the engine knobs.
+                    match &fabric_seen[tix] {
+                        Some(prev) => {
+                            assert_reports_equal(&fab, prev, &what);
+                            assert_eq!(&fab.fabric, &prev.fabric, "{what}: link stats");
+                        }
+                        None => fabric_seen[tix] = Some(fab),
+                    }
+                }
+                set_run_granular(true);
+            }
+        }
+    }
 }
 
 #[test]

@@ -31,6 +31,7 @@ use crate::flow::{GemmContext, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_dram::{DramConfig, Port};
+use stepstone_fabric::ReduceVia;
 use stepstone_pim::KernelGranularity;
 
 /// One streamed stage: `blocks` same-direction accesses with mean
@@ -57,13 +58,15 @@ fn stream_cycles(cfg: &DramConfig, blocks: u64, run: f64, d: u64) -> (u64, u64) 
 
 /// Cost one DMA transfer phase (localization or reduction): per-channel
 /// block counts stream at the cross-bank-group CAS cadence, channels in
-/// parallel. Returns (phase cycles, total blocks).
+/// parallel. Returns (phase cycles, total blocks, per-channel cycles) —
+/// the per-channel vector is each channel's own completion offset, which
+/// the fabric reduce uses as injection times.
 fn transfer_phase(
     sys: &SystemConfig,
     ctx: &GemmContext,
     per_pim_blocks: &[u64],
     gap: u64,
-) -> (u64, u64) {
+) -> (u64, u64, Vec<u64>) {
     let cfg = &sys.dram;
     let t = &cfg.timing;
     // Round-robin across regions alternates bank groups, so the stream
@@ -76,12 +79,10 @@ fn transfer_phase(
         per_ch[ctx.pim_channel(pim) as usize] += per_pim_blocks[pix];
     }
     let total: u64 = per_ch.iter().sum();
-    let end = per_ch
-        .iter()
-        .map(|&b| stream_cycles(cfg, b, 8.0, d).0)
-        .max()
-        .unwrap_or(0);
-    (end, total)
+    let cycles: Vec<u64> =
+        per_ch.iter().map(|&b| stream_cycles(cfg, b, 8.0, d).0).collect();
+    let end = cycles.iter().copied().max().unwrap_or(0);
+    (end, total, cycles)
 }
 
 /// Simulate one power-of-two GEMM in closed form (no per-command state).
@@ -106,7 +107,7 @@ pub(crate) fn execute_pow2_gemm(
 
     // Phase 1: localization — replicate B into the per-PIM regions.
     let b_counts: Vec<u64> = ctx.b_slice_lens.iter().map(|l| l.iter().sum()).collect();
-    let (loc_end, loc_blocks) = transfer_phase(sys, ctx, &b_counts, gap);
+    let (loc_end, loc_blocks, _) = transfer_phase(sys, ctx, &b_counts, gap);
     report.add_phase(Phase::Localization, loc_end);
     stats.writes += loc_blocks;
     stats.writes_by_port[Port::Channel.index()] += loc_blocks;
@@ -211,7 +212,19 @@ pub(crate) fn execute_pow2_gemm(
     // Phase 3: reduction — drain the per-PIM partial-C regions.
     let c_counts: Vec<u64> =
         ctx.c_blocks_by_rpart.iter().map(|per| per.iter().sum()).collect();
-    let (red_cycles, red_blocks) = transfer_phase(sys, ctx, &c_counts, gap);
+    let (red_cycles, red_blocks, red_per_ch) = transfer_phase(sys, ctx, &c_counts, gap);
+    // Same structure as the exact tier: the per-channel local drain is
+    // unchanged (and so are the DRAM counters); under `ReduceVia::Fabric`
+    // each channel's drain-completion offset becomes its fabric injection
+    // time and the reduce extends to the fabric's completion.
+    let red_cycles = if sys.reduce_via == ReduceVia::Fabric {
+        let ready: Vec<u64> = red_per_ch.iter().map(|&c| kernel_end + c).collect();
+        let (fab_end, fstats) = crate::flow::fabric_reduce(sys, ctx, &ready);
+        report.fabric = Some(fstats);
+        (kernel_end + red_cycles).max(fab_end) - kernel_end
+    } else {
+        red_cycles
+    };
     report.add_phase(Phase::Reduction, red_cycles);
     stats.reads += red_blocks;
     stats.reads_by_port[Port::Channel.index()] += red_blocks;

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use stepstone_addr::agen::AgenRules;
 use stepstone_addr::{mapping_by_id, MappingId, XorMapping};
 use stepstone_dram::{BackendKind, DramConfig};
+use stepstone_fabric::{FabricConfig, ReduceVia};
 use stepstone_pim::{LaunchModel, LocalizationMode};
 
 /// Address-generation variants compared in Fig. 9.
@@ -49,6 +50,14 @@ pub struct SystemConfig {
     /// fast tier for design-space sweeps (validation is force-disabled on
     /// paths without a functional datapath).
     pub backend: BackendKind,
+    /// How the Phase-3 partial-`C` merge moves across PIM devices.
+    /// `HostDma` (default) is the paper's path and is bit-identical to the
+    /// pre-fabric simulator; `Fabric` routes partial sums PIM→PIM over the
+    /// inter-device fabric after the same per-channel DRAM drain.
+    pub reduce_via: ReduceVia,
+    /// Fabric link/topology parameters (used only under
+    /// `ReduceVia::Fabric`; one fabric node per DRAM channel).
+    pub fabric: FabricConfig,
 }
 
 impl Default for SystemConfig {
@@ -65,6 +74,8 @@ impl Default for SystemConfig {
             parallel: true,
             trace: false,
             backend: BackendKind::Exact,
+            reduce_via: ReduceVia::default(),
+            fabric: FabricConfig::default(),
         }
     }
 }
@@ -106,6 +117,16 @@ impl SystemConfig {
 
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    pub fn with_reduce_via(mut self, via: ReduceVia) -> Self {
+        self.reduce_via = via;
+        self
+    }
+
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
         self
     }
 

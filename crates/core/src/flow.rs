@@ -28,6 +28,7 @@ use stepstone_addr::{
 use stepstone_dram::{
     AnalyticState, BackendKind, CommandBus, MemoryBackend, Port, TimingState, TrafficSource,
 };
+use stepstone_fabric::{FabricState, FabricStats, ReduceVia};
 use stepstone_pim::{
     BufferPlan, KernelGranularity, LocalizationMode, PimLevelConfig, TransferPlan,
 };
@@ -1230,12 +1231,67 @@ pub fn simulate_pow2_gemm_resident<B: MemoryBackend>(
     );
     let red_end =
         run_phase_auto(ts, bus, &ctx.mapping, &mut red, tcur, sys.parallel);
+
+    // Under `ReduceVia::Fabric` the per-channel drain above is unchanged —
+    // the identical DRAM command stream runs through the memory backend, so
+    // `DramStats` match the host-DMA path exactly — but the merged partial
+    // sums then move PIM→PIM over the inter-device fabric instead of
+    // through the host. Each channel's drain-completion time is its fabric
+    // injection time.
+    let red_end = if sys.reduce_via == ReduceVia::Fabric {
+        let ready: Vec<u64> = red.iter().map(|u| u.end_time.max(kernel_end)).collect();
+        let (fab_end, stats) = fabric_reduce(sys, ctx, &ready);
+        report.fabric = Some(stats);
+        red_end.max(fab_end)
+    } else {
+        red_end
+    };
     report.add_phase(Phase::Reduction, red_end - kernel_end);
 
     report.total = red_end - t0;
     report.dram = ts.stats().delta(&stats0);
     report.activity = activity;
     report
+}
+
+/// The fabric leg of a `ReduceVia::Fabric` Phase 3: route every device's
+/// locally drained partial-`C` payload to the root device over
+/// `sys.fabric` and fold it in. Fabric nodes are DIMM-granular — one per
+/// (channel, rank) pair, `node = channel × ranks + rank` — which is the
+/// inter-DIMM boundary the fabric physically bridges (4 nodes on the
+/// default 2-channel × 2-rank geometry). `ready` holds each *channel*'s
+/// local drain completion time; both of a channel's DIMMs inject when
+/// their shared channel drain ends. Returns the reduce completion cycle
+/// and the fabric statistics for the report.
+pub(crate) fn fabric_reduce(
+    sys: &SystemConfig,
+    ctx: &GemmContext,
+    ready: &[u64],
+) -> (u64, FabricStats) {
+    let geom = ctx.mapping.geometry();
+    let channels = geom.channels as usize;
+    let ranks = (geom.ranks_per_channel as usize).max(1);
+    let nodes = channels * ranks;
+    debug_assert_eq!(ready.len(), channels);
+    let drain_end = ready.iter().copied().max().unwrap_or(0);
+    if nodes < 2 {
+        // A single device has nothing to exchange; the reduce is local.
+        return (drain_end, FabricStats::default());
+    }
+    let mut payloads: Vec<(u64, u64)> = (0..nodes)
+        .map(|node| (ready[node / ranks], 0u64))
+        .collect();
+    for (pix, &pim) in ctx.active_pims.iter().enumerate() {
+        let (ch, rk, _) = ctx.ga.level.id_to_position(geom, pim);
+        let blocks: u64 = ctx.c_blocks_by_rpart[pix].iter().sum();
+        payloads[ch as usize * ranks + rk as usize].1 += blocks * BLOCK_BYTES;
+    }
+    let mut fab = FabricState::new(sys.fabric, nodes);
+    let end = fab.reduce_to_root(&payloads, 0);
+    let injected: u64 =
+        payloads.iter().enumerate().filter(|&(n, _)| n != 0).map(|(_, p)| p.1).sum();
+    let stats = fab.stats(injected, end.saturating_sub(drain_end));
+    (end, stats)
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub use flow::{
 };
 pub use gemm::GemmSpec;
 pub use report::{ActivityCounts, LatencyReport, Phase};
+pub use stepstone_fabric::{FabricConfig, FabricStats, LinkStats, ReduceVia, TopologyKind};
 pub use select::{choose_backend, estimate_pim_cycles, options_for, Backend};
 pub use serving::{
     cpu_crossover_batch, simulate_gemm_fused, simulate_split_batch, split_batch_cycles,

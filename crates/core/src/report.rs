@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 use stepstone_dram::DramStats;
+use stepstone_fabric::FabricStats;
 
 /// Execution phases attributed in the paper's breakdowns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -98,6 +99,11 @@ pub struct LatencyReport {
     /// DRAM command clock the cycle counts are denominated in (set from
     /// the simulated `DramConfig`; presets differ from DDR4-2400's 1.2 GHz).
     pub clock_hz: u64,
+    /// Inter-device fabric statistics — populated only when the reduce
+    /// phase ran over the fabric (`ReduceVia::Fabric`); `None` on the
+    /// default host-DMA path, preserving bit-identity with pre-fabric
+    /// reports.
+    pub fabric: Option<FabricStats>,
 }
 
 impl Default for LatencyReport {
@@ -109,6 +115,7 @@ impl Default for LatencyReport {
             activity: ActivityCounts::default(),
             backend: String::new(),
             clock_hz: 1_200_000_000,
+            fabric: None,
         }
     }
 }
@@ -140,6 +147,11 @@ impl LatencyReport {
         self.total += o.total;
         self.dram.merge(&o.dram);
         self.activity.merge(&o.activity);
+        match (&mut self.fabric, &o.fabric) {
+            (Some(f), Some(of)) => f.merge(of),
+            (None, Some(of)) => self.fabric = Some(of.clone()),
+            _ => {}
+        }
     }
 
     /// Wall-clock seconds at the DRAM/PIM clock this report was simulated

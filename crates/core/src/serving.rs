@@ -14,7 +14,7 @@
 use crate::config::SystemConfig;
 use crate::cpu::CpuModel;
 use crate::engine::{run_phase_auto, TrafficCursor, UnitCursor};
-use crate::flow::{transfer_cursors, GemmContext, KernelStream, SimOptions};
+use crate::flow::{fabric_reduce, transfer_cursors, GemmContext, KernelStream, SimOptions};
 use crate::gemm::GemmSpec;
 use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::PimLevel;
@@ -247,19 +247,33 @@ fn simulate_fused_engine<B: MemoryBackend>(
         }
     }
 
-    // Phase 3: one reduction pass over every sub-matrix's partial C.
+    // Phase 3: one reduction pass over every sub-matrix's partial C. Under
+    // `ReduceVia::Fabric` each sub-matrix's local drain is unchanged; the
+    // fabric transit of its merged payload extends the round before the
+    // next sub-matrix drains (one fabric round per sub-GEMM).
     let mut red_end = kernel_end;
     for ctx in ctxs {
+        let round_start = red_end;
         let mut red = transfer_cursors(
             ctx,
             &ctx.c_regions,
             false,
             Phase::Reduction,
-            red_end,
+            round_start,
             loc_mode.inter_block_gap(),
         );
         red_end =
             run_phase_auto(ts, &mut bus, &ctx.mapping, &mut red, tcur.as_mut(), sys.parallel);
+        if sys.reduce_via == stepstone_fabric::ReduceVia::Fabric {
+            let ready: Vec<u64> =
+                red.iter().map(|u| u.end_time.max(round_start)).collect();
+            let (fab_end, stats) = fabric_reduce(sys, ctx, &ready);
+            red_end = red_end.max(fab_end);
+            match &mut report.fabric {
+                Some(f) => f.merge(&stats),
+                slot => *slot = Some(stats),
+            }
+        }
     }
     report.add_phase(Phase::Reduction, red_end - kernel_end);
     report.total = red_end;

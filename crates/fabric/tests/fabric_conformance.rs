@@ -1,0 +1,186 @@
+//! Differential fabric-conformance suite.
+//!
+//! Random topologies and message schedules pin the invariants the engine
+//! integration relies on: byte conservation, per-link FIFO service,
+//! ring ≡ line degeneracy on two nodes, and schedule determinism (the
+//! result is a pure function of the message *set*, independent of input
+//! enumeration order — which is what makes serial and parallel drivers
+//! agree bit-for-bit).
+
+use proptest::prelude::*;
+use stepstone_fabric::{
+    build_topology, FabricConfig, FabricState, Message, TopologyKind,
+};
+
+/// A random schedule: topology kind, node count, link parameters, and a
+/// message list with unique ids.
+#[derive(Debug, Clone)]
+struct Schedule {
+    kind: TopologyKind,
+    nodes: usize,
+    cfg: FabricConfig,
+    msgs: Vec<Message>,
+}
+
+fn schedule(max_nodes: usize) -> impl Strategy<Value = Schedule> {
+    (
+        any::<bool>(),
+        2usize..max_nodes + 1,
+        1u64..64,
+        0u64..100,
+        proptest::collection::vec((any::<u64>(), any::<u64>(), 1u64..5000, 0u64..2000), 1..24),
+    )
+        .prop_map(|(ring, nodes, bw, latency, raw)| {
+            let kind = if ring { TopologyKind::Ring } else { TopologyKind::Line };
+            let cfg = FabricConfig {
+                topology: kind,
+                link_bytes_per_cycle: bw,
+                link_latency: latency,
+                accum_bytes_per_cycle: bw,
+            };
+            let msgs = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d, bytes, inject))| {
+                    let src = (s % nodes as u64) as usize;
+                    // Force dst != src so every message crosses the fabric.
+                    let dst = (src + 1 + (d % (nodes as u64 - 1)) as usize) % nodes;
+                    Message { id: i as u64, src, dst, bytes, inject }
+                })
+                .collect();
+            Schedule { kind, nodes, cfg, msgs }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Conservation: every byte injected is delivered, and each link
+    // carries exactly the bytes of the messages routed across it.
+    #[test]
+    fn bytes_are_conserved(s in schedule(6)) {
+        let mut f = FabricState::new(s.cfg, s.nodes);
+        let delivered = f.run(&s.msgs);
+        prop_assert_eq!(delivered.len(), s.msgs.len());
+        let topo = build_topology(s.kind, s.nodes);
+        // Expected per-link byte counts from routing alone.
+        let mut expect = vec![0u64; topo.n_links()];
+        for m in &s.msgs {
+            for l in topo.route(m.src, m.dst) {
+                expect[l] += m.bytes;
+            }
+        }
+        let stats = f.link_stats();
+        for (l, st) in stats.iter().enumerate() {
+            prop_assert_eq!(st.bytes, expect[l], "link {} byte count", l);
+        }
+        let injected: u64 = s.msgs.iter().map(|m| m.bytes).sum();
+        let carried: u64 = stats.iter().map(|st| st.bytes).sum();
+        let hops: u64 = s.msgs.iter().map(|m| topo.route(m.src, m.dst).len() as u64).sum();
+        prop_assert!(carried >= injected, "every message crosses at least one link");
+        // Total link-bytes equals Σ bytes × hops — nothing dropped, nothing
+        // duplicated beyond the route itself.
+        let weighted: u64 = s.msgs.iter()
+            .map(|m| m.bytes * topo.route(m.src, m.dst).len() as u64)
+            .sum();
+        prop_assert_eq!(carried, weighted);
+        prop_assert!(hops >= s.msgs.len() as u64);
+    }
+
+    // FIFO per-link service: transmissions never overlap, never start
+    // before arrival, and are served in arrival order (ties by id).
+    #[test]
+    fn links_serve_fifo_without_overlap(s in schedule(6)) {
+        let mut f = FabricState::new(s.cfg, s.nodes);
+        f.run(&s.msgs);
+        let bw = s.cfg.link_bytes_per_cycle.max(1);
+        let bytes_of = |id: u64| s.msgs[id as usize].bytes;
+        let topo = build_topology(s.kind, s.nodes);
+        for l in 0..topo.n_links() {
+            let log = f.link_log(l);
+            let mut prev_finish = 0u64;
+            let mut prev_key = (0u64, 0u64);
+            for (i, ev) in log.iter().enumerate() {
+                prop_assert!(ev.start >= ev.arrival, "no service before arrival");
+                prop_assert!(ev.start >= prev_finish, "serializer non-overlap");
+                prop_assert_eq!(ev.finish, ev.start + bytes_of(ev.message).div_ceil(bw));
+                let key = (ev.arrival, ev.message);
+                if i > 0 {
+                    prop_assert!(key > prev_key, "FIFO (arrival, id) service order");
+                }
+                prev_key = key;
+                prev_finish = ev.finish;
+            }
+        }
+    }
+
+    // On two nodes the ring's extra counter-clockwise links are dead
+    // weight: ring and line produce identical deliveries and identical
+    // stats on the links both topologies share.
+    #[test]
+    fn ring_degenerates_to_line_on_two_nodes(s in schedule(2)) {
+        let mut line = FabricState::new(
+            FabricConfig { topology: TopologyKind::Line, ..s.cfg }, 2);
+        let mut ring = FabricState::new(
+            FabricConfig { topology: TopologyKind::Ring, ..s.cfg }, 2);
+        let dl = line.run(&s.msgs);
+        let dr = ring.run(&s.msgs);
+        prop_assert_eq!(dl, dr);
+        let ls = line.link_stats();
+        let rs = ring.link_stats();
+        // Line links {0: 0→1, 1: 1→0} coincide with ring's clockwise pair.
+        for l in 0..2 {
+            prop_assert_eq!(ls[l], rs[l]);
+        }
+        // The ring's counter-clockwise links never carry traffic.
+        prop_assert!(rs[2..].iter().all(|st| st.messages == 0));
+    }
+
+    // Determinism: the outcome is a function of the message *set*.
+    // Reversing the input list (a proxy for any parallel enumeration
+    // order) changes nothing — per-message deliveries, link statistics,
+    // and link logs all match bit-for-bit.
+    #[test]
+    fn schedule_is_input_order_invariant(s in schedule(6)) {
+        let mut fwd = FabricState::new(s.cfg, s.nodes);
+        let d_fwd = fwd.run(&s.msgs);
+        let rev: Vec<Message> = s.msgs.iter().rev().copied().collect();
+        let mut bwd = FabricState::new(s.cfg, s.nodes);
+        let d_bwd = bwd.run(&rev);
+        let n = s.msgs.len();
+        for i in 0..n {
+            prop_assert_eq!(d_fwd[i], d_bwd[n - 1 - i], "message {} delivery", i);
+        }
+        prop_assert_eq!(fwd.link_stats(), bwd.link_stats());
+        for l in 0..build_topology(s.kind, s.nodes).n_links() {
+            prop_assert_eq!(fwd.link_log(l), bwd.link_log(l));
+        }
+    }
+
+    // Reduce-to-root: repeat runs are cycle-identical (serial == parallel
+    // determinism for the engine's Phase-3 use), the result respects the
+    // slowest payload, and shifting all ready times shifts the answer.
+    #[test]
+    fn reduce_is_deterministic_and_bounded(
+        s in schedule(6),
+        ready in proptest::collection::vec((0u64..5000, 64u64..100_000), 6),
+        root_pick in any::<u64>(),
+    ) {
+        let payloads: Vec<(u64, u64)> = ready[..s.nodes].to_vec();
+        let root = (root_pick % s.nodes as u64) as usize;
+        let mut a = FabricState::new(s.cfg, s.nodes);
+        let end_a = a.reduce_to_root(&payloads, root);
+        let mut b = FabricState::new(s.cfg, s.nodes);
+        let end_b = b.reduce_to_root(&payloads, root);
+        prop_assert_eq!(end_a, end_b, "reduce cycles must be reproducible");
+        prop_assert_eq!(a.link_stats(), b.link_stats());
+        // Lower bound: cannot finish before every payload is even ready.
+        let slowest = payloads.iter().map(|&(t, _)| t).max().unwrap();
+        prop_assert!(end_a >= slowest);
+        // Shift invariance: the schedule has no absolute-time anchors.
+        let shifted: Vec<(u64, u64)> =
+            payloads.iter().map(|&(t, bytes)| (t + 7919, bytes)).collect();
+        let mut c = FabricState::new(s.cfg, s.nodes);
+        prop_assert_eq!(c.reduce_to_root(&shifted, root), end_a + 7919);
+    }
+}

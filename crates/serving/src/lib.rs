@@ -27,7 +27,7 @@ pub mod tenant;
 pub use metrics::{percentile, RequestRecord, ServingReport};
 pub use server::{max_batch_samples, run_serving, BatchCoster, ServingConfig};
 pub use sweep::{
-    build_cost_table, classes, find_knee, sweep_loads, ColdCoster, CostTable, SessionCoster,
-    TableCoster,
+    build_cost_table, classes, find_knee, sweep_loads, sweep_loads_with_threads, ColdCoster,
+    CostTable, SessionCoster, TableCoster,
 };
 pub use tenant::TenantServer;

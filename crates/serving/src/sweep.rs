@@ -126,8 +126,22 @@ impl BatchCoster for TableCoster<'_> {
     }
 }
 
+/// Derive load point `i`'s trace seed from the sweep's base seed — a
+/// SplitMix64 finalizer over (seed, index). The old `seed + i` scheme let
+/// adjacent base seeds alias trace streams (seed 5's point 1 was seed 6's
+/// point 0); the mix makes every (seed, i) pair an independent stream while
+/// staying a pure function of the base seed, so same-seed sweeps are
+/// reproducible point by point.
+fn point_seed(seed: u64, i: usize) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Sweep offered loads (mean inter-arrival gaps, in cycles): one serving
-/// run per gap, each over its own deterministic seeded trace. With
+/// run per gap, each over its own deterministic seeded trace
+/// (`point_seed` re-seeds each point from the base seed). With
 /// `parallel`, points fan out via the vendored `rayon::scope`; results are
 /// bit-identical to the serial order because each point is independent and
 /// slotted by index.
@@ -140,19 +154,45 @@ pub fn sweep_loads(
     mean_gaps: &[f64],
     parallel: bool,
 ) -> Vec<ServingReport> {
+    let threads = if parallel { mean_gaps.len() } else { 1 };
+    sweep_loads_with_threads(table, cfg, seed, mix, requests, mean_gaps, threads)
+}
+
+/// [`sweep_loads`] with an explicit worker count. Load points are claimed
+/// from a shared index counter by `threads` workers, so any worker may run
+/// any point — the per-point re-seeding is what guarantees two same-seed
+/// sweeps produce identical `ServingReport`s whatever the thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_loads_with_threads(
+    table: &CostTable,
+    cfg: &ServingConfig,
+    seed: u64,
+    mix: RequestMix,
+    requests: u64,
+    mean_gaps: &[f64],
+    threads: usize,
+) -> Vec<ServingReport> {
     let run_point = |i: usize| {
-        let trace = OpenLoopArrivals::trace(seed.wrapping_add(i as u64), mix, mean_gaps[i], requests);
+        let trace = OpenLoopArrivals::trace(point_seed(seed, i), mix, mean_gaps[i], requests);
         run_serving(cfg, &trace, &mut TableCoster::new(table))
     };
-    if !parallel {
+    let threads = threads.clamp(1, mean_gaps.len().max(1));
+    if threads == 1 {
         return (0..mean_gaps.len()).map(run_point).collect();
     }
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ServingReport>>> =
         (0..mean_gaps.len()).map(|_| Mutex::new(None)).collect();
     rayon::scope(|s| {
-        for (i, slot) in slots.iter().enumerate() {
-            let run_point = &run_point;
-            s.spawn(move |_| *slot.lock().unwrap() = Some(run_point(i)));
+        for _ in 0..threads {
+            let (next, slots, run_point) = (&next, &slots, &run_point);
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= slots.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(run_point(i));
+            });
         }
     });
     slots.into_iter().map(|m| m.into_inner().unwrap().expect("point ran")).collect()
