@@ -156,11 +156,33 @@ assert wc['speedup']>=wc['speedup_floor'], \
 assert (wc['session_contexts'],wc['session_hits'],wc['session_misses'])== \
 (cwc['session_contexts'],cwc['session_hits'],cwc['session_misses']), \
 'session-cache build/reuse counts changed (deterministic; update BENCH_sim.json if intended)'; \
+pgd=d['paging']; cpg=c['paging']; \
+assert pgd['identity']['bit_identical'] is True, 'identity paging not bit-identical'; \
+assert pgd['identity']['sim_cycles']==pgd['baseline_sim_cycles']==bk['exact']['sim_cycles'], \
+'identity paging diverged from the streaming baseline: %r' % pgd['identity']; \
+assert pgd['identity']['sim_cycles']==cpg['identity']['sim_cycles'], \
+'identity-paged cycles changed: %d vs committed %d' \
+% (pgd['identity']['sim_cycles'], cpg['identity']['sim_cycles']); \
+assert [a['page_bytes'] for a in pgd['arms']]==[4096,65536,2097152,1073741824], \
+'paging arm set changed: %r' % [a['page_bytes'] for a in pgd['arms']]; \
+assert [a['sim_cycles'] for a in pgd['arms']]==[a['sim_cycles'] for a in cpg['arms']], \
+'paged cycle counts changed (deterministic; update BENCH_sim.json if intended): %r vs committed %r' \
+% ([a['sim_cycles'] for a in pgd['arms']], [a['sim_cycles'] for a in cpg['arms']]); \
+assert all(a['run_counters']==b['run_counters'] for a,b in zip(pgd['arms'],cpg['arms'])), \
+'paged run-granularity counters changed (deterministic; update BENCH_sim.json if intended)'; \
+assert all(a['sampled']==b['sampled'] for a,b in zip(pgd['arms'],cpg['arms'])), \
+'paged sampled locality changed (deterministic; update BENCH_sim.json if intended)'; \
+pspl=[a['sampled']['page_splits'] for a in pgd['arms']]; \
+assert pspl==sorted(pspl, reverse=True), 'page splits must shrink with page size: %r' % pspl; \
+ploc=[a['sampled']['locality_vs_native'] for a in pgd['arms']]; \
+assert all(x<=y+1e-9 for x,y in zip(ploc,ploc[1:])), \
+'locality must grow with page size: %r' % ploc; \
+assert ploc[-1]>0.999, '1 GiB pages must preserve native run locality: %r' % ploc; \
 par_ok='skipped (1 cpu)' if d['config']['threads']<2 else '%.2fx' % d['speedup_parallel_vs_serial']; \
 assert d['config']['threads']<2 or d['speedup_parallel_vs_serial']>=0.9, \
 'parallel engine slower than serial: %.2fx' % d['speedup_parallel_vs_serial']; \
-print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets, serving knee@%d warm %.1fx >= %.1fx, fabric %d nodes ring +%d cycles peak %.1f GB/s)' \
-% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets']), sv['knee_index'], wc['speedup'], wc['speedup_floor'], fb['nodes'], ft['ring']['fabric_cycles'], ft['ring']['peak_link_gbps']))"
+print('bench-smoke: ok (seed %.2fx >= floor %.2fx, parallel %s, region drop %.0fx, agen %.1f ns/span at %.3f of seed <= %.3f, %d live boundaries / %d jumps, %d runs mean %.1f blocks, %.1f ns/block <= %.1f, analytic %.0fx >= %.0fx, %d presets, serving knee@%d warm %.1fx >= %.1fx, fabric %d nodes ring +%d cycles peak %.1f GB/s, paging identity==baseline, 4KB locality %.2f -> 1GB %.2f)' \
+% (d['speedup_streaming_vs_seed'], floor, par_ok, ra['drop'], sp['agen_ns_per_span'], share, 1.75*cshare, ac['boundary_successors'], ac['window_jumps'], rc['runs'], rc['mean_run_len'], ss['ns_per_block'], ceil, bk['analytic']['speedup_vs_exact'], bk['speedup_floor'], len(bk['presets']), sv['knee_index'], wc['speedup'], wc['speedup_floor'], fb['nodes'], ft['ring']['fabric_cycles'], ft['ring']['peak_link_gbps'], ploc[0], ploc[-1]))"
 
 # The paper-scale evidence run (4096x4096 N=256 at StepStone-BG).
 bench-paper:

@@ -253,6 +253,13 @@ impl CorrectorTables {
 /// process-wide; beyond the cap, tables are built privately per walk.
 const CORRECTOR_CACHE_CAP: usize = 1024;
 
+/// Keyed by constraint *masks* only (plus level range and rules): this is
+/// complete, not an aliasing hazard. [`CorrectorTables::build`] never reads
+/// a constraint's parity — `compress_units` and `PreparedLevel::prepare`
+/// depend on masks alone, and the RHS is folded in per walk at solve time
+/// (`rhs_bits`). Distinct geometries/presets produce distinct mask
+/// sequences, so cross-preset walks cannot collide on a stale entry
+/// (pinned by `interleaved_geometries_share_agen_caches_without_aliasing`).
 type CorrectorKey = (Vec<u64>, u32, AgenRules);
 
 fn corrector_cache() -> &'static Mutex<HashMap<CorrectorKey, Arc<CorrectorTables>>> {
@@ -404,6 +411,11 @@ impl WindowTables {
 /// process-wide; beyond the cap, tables are built privately per walk.
 const WINDOW_CACHE_CAP: usize = 1024;
 
+/// Mask-only key, like [`CorrectorKey`]: [`WindowTables::build`] erases
+/// parities up front (gate rows are built over `parity: false` copies) and
+/// re-derives the gate RHS from the walk's own parity bits in `gate_rhs`,
+/// so entries are shared safely across presets with different parities but
+/// identical mask sequences — and never across different geometries.
 type WindowKey = (Vec<u64>, u32, u32);
 
 fn window_cache() -> &'static Mutex<HashMap<WindowKey, Arc<WindowTables>>> {
@@ -728,6 +740,12 @@ const SPAN_WINDOW_BLOCK_BITS: u32 = 14;
 /// is where within-walk replay comes from.
 const SPAN_WINDOWS_PER_RANGE_BITS: u32 = 6;
 
+/// Skeletons are shared by (low-mask sequence, pivot, rules) and, inside
+/// [`SharedSkeletons`], by the window's residual parity state — together a
+/// complete key: the satisfying offsets within an aligned window are a pure
+/// function of the constraints' low-mask rows and the per-window RHS, with
+/// all geometry- and parity-dependence folded into `state_of`. Walks under
+/// different presets therefore interleave through this cache safely.
 type SpanProgramKey = (Vec<u64>, u32, AgenRules);
 
 struct SpanProgramCache {

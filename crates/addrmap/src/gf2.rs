@@ -337,4 +337,10 @@ mod tests {
         assert!(s.add(0b1010, true));
         assert_eq!(s.min_solution().unwrap(), 0b0010);
     }
+
+    #[test]
+    #[should_panic(expected = "at most 64 columns")]
+    fn oversized_matrices_are_rejected() {
+        Gf2Matrix::from_rows(vec![0; 65], 65);
+    }
 }

@@ -322,11 +322,19 @@ pub fn pim_region_constraints(
 /// generation must skip over those columns belonging to different
 /// partitions").
 pub fn partition_constraints(span_mask: u64, parts: u32, part: u32) -> Vec<ParityConstraint> {
-    assert!(parts.is_power_of_two());
+    assert!(
+        parts.is_power_of_two(),
+        "partition count must be a power of two (got {parts})"
+    );
     let bits = parts.trailing_zeros();
     if bits == 0 {
         return Vec::new();
     }
+    assert!(
+        span_mask.count_ones() >= bits,
+        "cannot split a {}-bit span into {parts} partitions",
+        span_mask.count_ones()
+    );
     let top = 63 - span_mask.leading_zeros();
     (0..bits)
         .map(|i| {
@@ -494,5 +502,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop all PIM-ID bits")]
+    fn dropping_every_id_bit_is_rejected() {
+        let m = mapping_by_id(MappingId::Skylake);
+        let n = PimLevel::BankGroup.id_masks(&m).len() as u32;
+        GroupAnalysis::analyze_subset(
+            &m,
+            PimLevel::BankGroup,
+            MatrixLayout::new_f32(0, 1024, 4096),
+            n,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_partition_count_is_rejected() {
+        partition_constraints(0xff << 6, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn undersized_partition_span_is_rejected() {
+        partition_constraints(1 << 6, 4, 0);
     }
 }

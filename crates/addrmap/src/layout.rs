@@ -32,7 +32,11 @@ impl MatrixLayout {
     pub fn validate(&self) {
         assert!(self.rows.is_power_of_two(), "rows must be a power of two");
         assert!(self.cols.is_power_of_two(), "cols must be a power of two");
-        assert!(self.elem_bytes.is_power_of_two());
+        assert!(
+            self.elem_bytes.is_power_of_two(),
+            "element size must be a power of two (got {})",
+            self.elem_bytes
+        );
         assert!(
             self.row_bytes() >= BLOCK_BYTES,
             "a matrix row must span at least one cache block"
@@ -149,4 +153,24 @@ mod tests {
     fn misaligned_base_rejected() {
         MatrixLayout::new_f32(4096, 1024, 4096);
     }
+
+    #[test]
+    #[should_panic(expected = "rows must be a power of two")]
+    fn non_pow2_rows_are_rejected() {
+        MatrixLayout::new_f32(0, 3, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "element size must be a power of two")]
+    fn non_pow2_element_size_is_rejected() {
+        let l = MatrixLayout { base: 0, rows: 4, cols: 64, elem_bytes: 3 };
+        l.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache block")]
+    fn sub_block_rows_are_rejected() {
+        MatrixLayout::new_f32(0, 4, 4);
+    }
+
 }

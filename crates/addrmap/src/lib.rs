@@ -23,6 +23,9 @@
 //!   [`agen::SpanProgram`], the cached periodic replay of the A-walk.
 //! * [`region`] — [`RegionPlan`], succinct GF(2) rank/select plans for the
 //!   per-PIM localized buffer regions (no materialized address lists).
+//! * [`paging`] — the VA→PA layer ([`PageMap`]): page-size-parameterized
+//!   translation policies plus the page-locality metrics that let the
+//!   region algebra compose per page.
 
 pub mod agen;
 pub mod geometry;
@@ -30,6 +33,7 @@ pub mod gf2;
 pub mod groups;
 pub mod layout;
 pub mod mapping;
+pub mod paging;
 pub mod pimlevel;
 pub mod presets;
 pub mod region;
@@ -42,6 +46,7 @@ pub use geometry::{DramCoord, Geometry, BLOCK_BYTES, BLOCK_SHIFT};
 pub use groups::GroupAnalysis;
 pub use layout::MatrixLayout;
 pub use mapping::{Field, XorMapping};
+pub use paging::{paged_run_stats, PageMap, PagePolicy, PagedRunStats, PagingConfig};
 pub use pimlevel::PimLevel;
 pub use presets::{mapping_by_id, MappingId};
 pub use region::{KeyRuns, RegionIter, RegionPlan};

@@ -333,4 +333,21 @@ mod tests {
         assert!(coords.windows(2).any(|w| w[0].bankgroup != w[1].bankgroup));
         assert!(coords.windows(2).any(|w| w[0].channel != w[1].channel));
     }
+
+    #[test]
+    #[should_panic(expected = "need at least one column bit")]
+    fn degenerate_geometry_without_columns_is_rejected() {
+        let geom = Geometry { blocks_per_row: 1, ..Geometry::default() };
+        mapping_on(MappingId::Skylake, geom);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row bit per ID bit")]
+    fn degenerate_geometry_with_too_few_rows_is_rejected() {
+        // 8 bank groups routes to the generic builder; two rows per bank
+        // cannot absorb one tap per ID bit.
+        let geom =
+            Geometry { bankgroups_per_rank: 8, rows_per_bank: 2, ..Geometry::default() };
+        mapping_on(MappingId::Skylake, geom);
+    }
 }

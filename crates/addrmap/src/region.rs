@@ -270,6 +270,15 @@ impl RegionPlan {
         0
     }
 
+    /// Number of satisfying blocks — counted globally from address 0, the
+    /// index space of [`RegionIter::pos_rank`] — with address strictly
+    /// below `x`. This is the page-clipping primitive: the number of
+    /// upcoming region blocks a cursor can touch before crossing a page
+    /// boundary at `x` is `rank_below(x) - pos_rank()`.
+    pub fn rank_below(&self, x: u64) -> u64 {
+        self.rank(x)
+    }
+
     /// Address of the `ix`-th region block — O(address bits), no lookup
     /// table proportional to the region.
     pub fn get(&self, ix: u64) -> u64 {
@@ -435,6 +444,19 @@ impl<'a> RegionIter<'a> {
     #[inline]
     pub fn plan(&self) -> &'a RegionPlan {
         self.plan
+    }
+
+    /// Address of the next block this cursor will yield, without
+    /// advancing — what page-clipped run hints key their boundary on.
+    #[inline]
+    pub fn peek_addr(&self) -> Option<u64> {
+        if self.ix >= self.end {
+            return None;
+        }
+        Some(match self.next_addr {
+            Some(a) => a,
+            None => self.plan.select(self.plan.base_rank + self.ix),
+        })
     }
 }
 
@@ -781,5 +803,23 @@ mod tests {
         let cs = vec![ParityConstraint { mask: 0x3f, parity: false }];
         let plan = RegionPlan::carve(cs, 0, 8);
         assert_eq!(plan.to_vec(), (0..8u64).map(|i| i * BLOCK_BYTES).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "region constraint systems are small")]
+    fn oversized_constraint_systems_are_rejected() {
+        let cs: Vec<ParityConstraint> = (6..23)
+            .map(|b| ParityConstraint { mask: 1 << b, parity: false })
+            .collect();
+        RegionPlan::carve(cs, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable region")]
+    fn carving_from_an_unsatisfiable_region_is_rejected() {
+        // An odd-parity constraint on sub-block bits can never be met by a
+        // block address.
+        let cs = vec![ParityConstraint { mask: 1, parity: true }];
+        RegionPlan::carve(cs, 0, 4);
     }
 }

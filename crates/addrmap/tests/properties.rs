@@ -9,7 +9,7 @@ use stepstone_addr::groups::GroupAnalysis;
 use stepstone_addr::layout::MatrixLayout;
 use stepstone_addr::mapping::{BitSpec, Field, XorMapping};
 use stepstone_addr::pimlevel::PimLevel;
-use stepstone_addr::presets::{mapping_by_id, MappingId};
+use stepstone_addr::presets::{mapping_by_id, mapping_on, MappingId};
 
 /// A strategy producing a random but always-invertible XOR mapping on a
 /// small geometry: random owner permutation plus random taps drawn only from
@@ -351,6 +351,86 @@ fn preset_mappings_agen_equivalence_exhaustive() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn interleaved_geometries_share_agen_caches_without_aliasing() {
+    // Cross-preset cache-aliasing regression: the process-wide corrector,
+    // window, and span-program caches are keyed by constraint masks (plus
+    // level range / pivot / rules) — *not* by geometry or parity. That is
+    // complete because the cached tables are parity-independent by
+    // construction and distinct geometries yield distinct mask sequences,
+    // but nothing used to pin it. Interleave walks under the ddr5 / lpddr5
+    // / hbm2 preset geometries (all routed through `generic_mapping_on`) so
+    // entries populated by one geometry are live lookup candidates while
+    // another geometry walks, and hold every walk to the naive oracle.
+    let geoms = [
+        // DDR5-4800 (stepstone-dram `ddr5_4800`): 8 bank groups.
+        Geometry {
+            channels: 4,
+            ranks_per_channel: 1,
+            bankgroups_per_rank: 8,
+            banks_per_bankgroup: 4,
+            rows_per_bank: 32768,
+            blocks_per_row: 64,
+        },
+        // LPDDR5-6400 (`lpddr5_6400`): 2 channels, 16 KiB rows.
+        Geometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            bankgroups_per_rank: 4,
+            banks_per_bankgroup: 4,
+            rows_per_bank: 65536,
+            blocks_per_row: 128,
+        },
+        // HBM2 (`hbm2`): wide channels, 8 KiB rows.
+        Geometry {
+            channels: 4,
+            ranks_per_channel: 1,
+            bankgroups_per_rank: 4,
+            banks_per_bankgroup: 4,
+            rows_per_bank: 65536,
+            blocks_per_row: 64,
+        },
+    ];
+    let layout = MatrixLayout::new_f32(0, 16, 512);
+    let mut walks: Vec<(usize, PimLevel, usize, Vec<ParityConstraint>)> = Vec::new();
+    for (gi, geom) in geoms.iter().enumerate() {
+        let m = mapping_on(MappingId::Skylake, *geom);
+        assert_eq!(m.geometry(), geom);
+        for level in [PimLevel::BankGroup, PimLevel::Channel] {
+            let ga = GroupAnalysis::analyze(&m, level, layout);
+            let pim = ga.active_pims()[0];
+            for g in 0..ga.n_groups().min(4) {
+                if ga.is_admissible(pim, g) {
+                    walks.push((gi, level, g, ga.constraints_for(pim, g)));
+                }
+            }
+        }
+    }
+    assert!(walks.len() >= 6, "need walks from every geometry");
+    // Pass 0 walks in geometry order (populating the caches); pass 1
+    // strides through in a shuffled order so lookups happen with all three
+    // geometries' entries resident. A stride coprime to the length covers
+    // every walk.
+    let stride = (0..walks.len()).find(|s| s % 2 == 1 && s % 3 == 1 && *s > 1).unwrap_or(1);
+    for pass in 0..2 {
+        for i in 0..walks.len() {
+            let ix = if pass == 0 { i } else { (i * stride) % walks.len() };
+            let (gi, level, g, cs) = &walks[ix];
+            let naive: Vec<u64> =
+                NaiveAgen::new(cs.clone(), 0, layout.end()).map(|s| s.pa).collect();
+            let fast: Vec<u64> =
+                StepStoneAgen::new(cs.clone(), 0, layout.end()).map(|s| s.pa).collect();
+            assert_eq!(naive, fast, "geom {gi} {level:?} group {g} pass {pass} (stream)");
+            let replayed: Vec<u64> = StepStoneAgen::new(cs.clone(), 0, layout.end())
+                .span_program()
+                .steps()
+                .map(|s| s.pa)
+                .collect();
+            assert_eq!(naive, replayed, "geom {gi} {level:?} group {g} pass {pass} (replay)");
         }
     }
 }

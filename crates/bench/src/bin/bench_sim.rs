@@ -268,6 +268,9 @@ fn main() {
     // ---- inter-device fabric (PR 9): PIM-to-PIM reduce, line vs ring ----
     let fb = fabric_section(&sys, &spec, &opts, host_report.as_ref().expect("streaming run"));
 
+    // ---- VA->PA paging (PR 10): locality preserved per page size ----
+    let pg = paging_section(&sys, &serial_sys, &spec, &opts, runs[0].sim_cycles, &rc_paper);
+
     let cycle_exact = runs.windows(2).all(|w| {
         w[0].sim_cycles == w[1].sim_cycles && w[0].blocks == w[1].blocks
     });
@@ -466,6 +469,45 @@ fn main() {
     json.push_str("    ],\n");
     json.push_str("    \"dram_identical\": true\n");
     json.push_str("  },\n");
+    json.push_str("  \"paging\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"baseline_sim_cycles\": {}, \"identity\": {{\"page_bytes\": 4096, \
+         \"sim_cycles\": {}, \"bit_identical\": {}}},",
+        runs[0].sim_cycles, pg.identity_sim_cycles, pg.identity_bit_identical,
+    );
+    json.push_str("    \"arms\": [\n");
+    for (i, a) in pg.arms.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"page_bytes\": {}, \"wall_ns\": {}, \"sim_cycles\": {}, \
+             \"ns_per_block\": {:.2}, \"cycles_vs_baseline\": {:.4}, \
+             \"run_counters\": {},",
+            a.page_bytes,
+            a.wall_ns,
+            a.sim_cycles,
+            a.wall_ns as f64 / a.blocks as f64,
+            a.sim_cycles as f64 / runs[0].sim_cycles as f64,
+            run_counters_json(&a.run_counters),
+        );
+        let _ = write!(
+            json,
+            "       \"sampled\": {{\"blocks\": {}, \"runs\": {}, \"mean_run_len\": {:.2}, \
+             \"page_splits\": {}, \"locality_vs_native\": {:.4}}}}}",
+            a.sampled.blocks,
+            a.sampled.runs,
+            a.sampled.mean_run_len(),
+            a.sampled.page_splits,
+            a.sampled.mean_run_len() / pg.native_mean_run_len,
+        );
+        json.push_str(if i + 1 < pg.arms.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"native_sampled_mean_run_len\": {:.2}\n  }},",
+        pg.native_mean_run_len
+    );
     let _ = writeln!(json, "  \"cycle_exact\": {cycle_exact}");
     json.push_str("}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -662,6 +704,104 @@ fn fabric_section(
         host_total: host.total,
         host_reduce,
         topos,
+    }
+}
+
+struct PagingArm {
+    page_bytes: u64,
+    wall_ns: u128,
+    sim_cycles: u64,
+    blocks: u64,
+    run_counters: RunCounters,
+    /// Locality sampled on a representative fill plan: same-key run length
+    /// under this page map vs the native (unpaged) key stream.
+    sampled: stepstone_addr::PagedRunStats,
+}
+
+struct PagingSection {
+    identity_sim_cycles: u64,
+    identity_bit_identical: bool,
+    native_mean_run_len: f64,
+    arms: Vec<PagingArm>,
+}
+
+/// The VA->PA paging sweep (PR 10): how much block-grouping locality each
+/// page size preserves on the paper shape. The identity arm must stay
+/// bit-identical to the contiguous baseline (asserted here *and* gated in
+/// `make bench-smoke`); the fragmented arms measure the real cost of a
+/// permuted frame allocation — per-run cycle counts, run-granularity
+/// counters (page-clipped hints shorten admitted runs), and a sampled
+/// same-key run-length ratio against the native stream. All cycle counts
+/// and counters are deterministic (serial engine) and exact-match gated.
+fn paging_section(
+    sys: &SystemConfig,
+    serial_sys: &SystemConfig,
+    spec: &GemmSpec,
+    opts: &SimOptions,
+    baseline_cycles: u64,
+    baseline_rc: &RunCounters,
+) -> PagingSection {
+    use stepstone_addr::{paged_run_stats, PageMap, PagingConfig};
+    let isys = serial_sys.clone().with_paging(PagingConfig::identity(4096));
+    let ir = simulate_pow2_gemm_exec(&isys, spec, opts, None, ExecMode::Streaming);
+    let identical = ir.total == baseline_cycles;
+    assert!(identical, "identity paging diverged: {} vs {baseline_cycles}", ir.total);
+    println!(
+        "  paging identity-4KB: {} sim cycles (bit-identical to contiguous)",
+        ir.total
+    );
+
+    // Representative fill plan for the sampled locality ratio: the first
+    // localized-B region of the paper-shape context.
+    let ctx = GemmContext::build(sys, spec, opts);
+    let plan = &ctx.b_regions[0];
+    let mapping = sys.mapping();
+    let sample = plan.len().min(1 << 16);
+    let native = {
+        let map = PageMap::for_mapping(PagingConfig::identity(4096), &mapping);
+        paged_run_stats(&map, plan, &mapping, sample)
+    };
+    let native_mean = native.mean_run_len();
+
+    let mut arms = Vec::new();
+    for page_bytes in [4096u64, 64 << 10, 2 << 20, 1 << 30] {
+        let cfg = PagingConfig::fragmented(page_bytes, 42);
+        let psys = serial_sys.clone().with_paging(cfg);
+        reset_run_counters();
+        let t0 = Instant::now();
+        let r = simulate_pow2_gemm_exec(&psys, spec, opts, None, ExecMode::Streaming);
+        let wall_ns = t0.elapsed().as_nanos();
+        let rc = run_counters();
+        let map = PageMap::for_mapping(cfg, &mapping);
+        let sampled = paged_run_stats(&map, plan, &mapping, sample);
+        let blocks = r.dram.accesses();
+        println!(
+            "  paging {:>6} KiB: {:>7.1} ns/block, {} sim cycles ({:+.2}% vs contiguous), \
+             runs {} (mean {:.1}, baseline {:.1}), sampled locality {:.2} ({} page splits)",
+            page_bytes >> 10,
+            wall_ns as f64 / blocks as f64,
+            r.total,
+            (r.total as f64 / baseline_cycles as f64 - 1.0) * 100.0,
+            rc.runs,
+            rc.mean_run_len(),
+            baseline_rc.mean_run_len(),
+            sampled.mean_run_len() / native_mean,
+            sampled.page_splits,
+        );
+        arms.push(PagingArm {
+            page_bytes,
+            wall_ns,
+            sim_cycles: r.total,
+            blocks,
+            run_counters: rc,
+            sampled,
+        });
+    }
+    PagingSection {
+        identity_sim_cycles: ir.total,
+        identity_bit_identical: identical,
+        native_mean_run_len: native_mean,
+        arms,
     }
 }
 

@@ -22,7 +22,7 @@
 //! frozen seed engine. The whole matrix runs inside one `#[test]` because
 //! the fast-path knob is process-global.
 
-use stepstone_addr::PimLevel;
+use stepstone_addr::{PagingConfig, PimLevel};
 use stepstone_bench::seed_replay::simulate_pow2_gemm_seed;
 use stepstone_core::engine::{
     reset_run_counters, run_counters, set_run_granular, set_span_fast_path,
@@ -269,6 +269,84 @@ fn matrix_reduce_via_host_dma_and_fabric() {
             }
         }
     }
+}
+
+/// PR 10 paging axis. Two families of arms:
+///
+/// * **Provable reductions** — identity-policy paging at any page size
+///   (no stream is ever wrapped), and a page covering the whole simulated
+///   address range under a *non-identity* policy (one constant,
+///   ID-parity-free frame offset relabels banks/rows uniformly). Both
+///   must be bit-identical to the frozen contiguous seed.
+/// * **Fragmented/permuted arms** — small-page translation (with and
+///   without a PTW cost) through the full production machinery
+///   (page-clipped run hints, span fast path, run-granular admission)
+///   must be cycle-exact against the per-page live-walk oracle: both
+///   knobs forced off, so every block is a real source pull translated
+///   one at a time.
+#[test]
+fn matrix_paging_identity_reduction_and_fragmented_oracle() {
+    let _serial = knob_lock();
+    let _guard = FastPathGuard(set_span_fast_path(true));
+    let _guard_rg = RunGranularGuard(set_run_granular(true));
+    let mut admitted = 0u64;
+    // BankGroup partitions this shape into spans too short to admit runs
+    // (every hint ends at length 1 even unpaged); Device-level spans are
+    // long enough that page-clipped hints must still admit whole runs.
+    let shapes: &[(usize, usize, usize, PimLevel)] = &[
+        (256, 1024, 2, PimLevel::BankGroup),
+        (512, 2048, 4, PimLevel::Device),
+    ];
+    for &(m, k, n, level) in shapes {
+        let spec = GemmSpec::new(m, k, n);
+        let opts = SimOptions::stepstone(level);
+        let seed = simulate_pow2_gemm_seed(
+            &SystemConfig { parallel: false, ..SystemConfig::default() },
+            &spec,
+            &opts,
+        );
+        for paging in [
+            PagingConfig::identity(4096),
+            PagingConfig::identity(1 << 30),
+            PagingConfig::permuted(1 << 36, 11),
+            PagingConfig::fragmented(1 << 36, 11),
+        ] {
+            for parallel in [false, true] {
+                let sys =
+                    SystemConfig { parallel, ..SystemConfig::default() }.with_paging(paging);
+                let got = simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                let what = format!("{m}x{k} N={n} {level:?} {paging:?} parallel={parallel}");
+                assert_reports_equal(&got, &seed, &what);
+            }
+        }
+        for paging in [
+            PagingConfig::fragmented(4096, 42),
+            PagingConfig::fragmented(1 << 16, 42).with_ptw(40),
+            PagingConfig::permuted(2 << 20, 7).with_ptw(20),
+        ] {
+            set_span_fast_path(false);
+            set_run_granular(false);
+            let osys =
+                SystemConfig { parallel: false, ..SystemConfig::default() }.with_paging(paging);
+            let oracle = simulate_pow2_gemm_exec(&osys, &spec, &opts, None, ExecMode::Streaming);
+            set_span_fast_path(true);
+            set_run_granular(true);
+            for parallel in [false, true] {
+                reset_run_counters();
+                let sys =
+                    SystemConfig { parallel, ..SystemConfig::default() }.with_paging(paging);
+                let got = simulate_pow2_gemm_exec(&sys, &spec, &opts, None, ExecMode::Streaming);
+                let what = format!("{m}x{k} N={n} {level:?} {paging:?} parallel={parallel}");
+                assert_reports_equal(&got, &oracle, &what);
+                admitted += run_counters().runs;
+            }
+            // Translation must actually move traffic in these arms, or the
+            // oracle proves nothing: same counters, different addresses.
+            let pm = osys.page_map().expect("paging configured");
+            assert!(!pm.is_identity(), "arm must translate");
+        }
+    }
+    assert!(admitted > 0, "page-clipped hints must still admit whole runs");
 }
 
 #[test]

@@ -125,8 +125,28 @@ pub(crate) fn execute_pow2_gemm(
     // partitions, so the phase ends at the slowest PIM.
     let d_gemm = cas.max(opts.level_cfg.compute_cycles_per_block(n));
     let simd_per_block = opts.level_cfg.simd_ops_per_block(n);
+    // VA→PA paging composes analytically: a non-identity map can only
+    // break a same-(bank, row) run at page crossings (within one page key
+    // equality is translation-invariant), so expected boundaries add —
+    // 1/L' = 1/L + 1/page_blocks — and every kernel stream pays the PTW's
+    // AGEN cost once per page it touches. Identity maps leave runs alone.
+    let paging = ctx.page_map.as_ref();
+    let compose_run = |run: f64| match paging {
+        Some(pm) if !pm.is_identity() => {
+            let page_blocks = (pm.page_bytes() / stepstone_addr::BLOCK_BYTES) as f64;
+            1.0 / (1.0 / run.max(1.0) + 1.0 / page_blocks)
+        }
+        _ => run,
+    };
+    let ptw_extra = |blocks: u64| match paging {
+        Some(pm) if pm.ptw_cycles() > 0 && blocks > 0 => {
+            let page_blocks = (pm.page_bytes() / stepstone_addr::BLOCK_BYTES).max(1);
+            blocks.div_ceil(page_blocks) * pm.ptw_cycles() as u64
+        }
+        _ => 0,
+    };
     let fill_run = |kr: &Option<stepstone_addr::KeyRuns>| {
-        kr.as_ref().map_or(cfg.geom.blocks_per_row as f64, |k| k.mean_run_len())
+        compose_run(kr.as_ref().map_or(cfg.geom.blocks_per_row as f64, |k| k.mean_run_len()))
     };
     let mut kernel_cycles = 0u64;
     let mut phase_max = [0u64; 8];
@@ -157,6 +177,8 @@ pub(crate) fn execute_pow2_gemm(
             }
             let fc = if ctx.direct_scratchpad { 0 } else { ctx.c_blocks_by_rpart[pix][rp] };
             let (fc_cy, fc_rows) = stream_cycles(cfg, fc, c_run, cas);
+            let fc_cy = fc_cy + ptw_extra(fc);
+            activity.agen_iterations += ptw_extra(fc);
             total += fc_cy;
             cy[Phase::FillC.index()] += fc_cy;
             stats.reads += fc;
@@ -166,13 +188,16 @@ pub(crate) fn execute_pow2_gemm(
             for &(grp, b_len) in &cells {
                 let fb = if ctx.direct_scratchpad { 0 } else { b_len };
                 let (fb_cy, fb_rows) = stream_cycles(cfg, fb, b_run, cas);
+                let fb_cy = fb_cy + ptw_extra(fb);
                 // A blocks of this cell: the cell's column blocks across
                 // its admissible matrix rows in this rpart. Each span is a
                 // same-row run of `cols_here` blocks.
                 let cols_here = b_len / n.max(1) as u64;
                 let g_blocks = cols_here * rows_by_rpart_group[rp][grp];
                 let (g_cy, g_rows) =
-                    stream_cycles(cfg, g_blocks, cols_here.max(1) as f64, d_gemm);
+                    stream_cycles(cfg, g_blocks, compose_run(cols_here.max(1) as f64), d_gemm);
+                let g_cy = g_cy + ptw_extra(g_blocks);
+                activity.agen_iterations += ptw_extra(fb) + ptw_extra(g_blocks);
                 let launch_cy = if echo {
                     activity.launches += rows_by_rpart_group[rp][grp];
                     rows_by_rpart_group[rp][grp] * sys.launch.launch_latency
@@ -192,6 +217,8 @@ pub(crate) fn execute_pow2_gemm(
             }
             let dc = if ctx.direct_scratchpad { 0 } else { ctx.c_blocks_by_rpart[pix][rp] };
             let (dc_cy, dc_rows) = stream_cycles(cfg, dc, c_run, cas);
+            let dc_cy = dc_cy + ptw_extra(dc);
+            activity.agen_iterations += ptw_extra(dc);
             total += dc_cy;
             cy[Phase::DrainC.index()] += dc_cy;
             stats.writes += dc;

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use stepstone_addr::agen::AgenRules;
-use stepstone_addr::{mapping_by_id, MappingId, XorMapping};
+use stepstone_addr::{mapping_by_id, MappingId, PageMap, PagingConfig, XorMapping};
 use stepstone_dram::{BackendKind, DramConfig};
 use stepstone_fabric::{FabricConfig, ReduceVia};
 use stepstone_pim::{LaunchModel, LocalizationMode};
@@ -58,6 +58,13 @@ pub struct SystemConfig {
     /// Fabric link/topology parameters (used only under
     /// `ReduceVia::Fabric`; one fabric node per DRAM channel).
     pub fabric: FabricConfig,
+    /// VA→PA paging layer (None = the paper's physically contiguous
+    /// arenas). When set, every step stream translates its addresses
+    /// through the [`PageMap`], run promises are clipped at page
+    /// boundaries, and page transitions charge the PTW's AGEN cost; an
+    /// identity policy with zero PTW cycles stays bit-identical to the
+    /// contiguous baseline (CI-gated).
+    pub paging: Option<PagingConfig>,
 }
 
 impl Default for SystemConfig {
@@ -76,6 +83,7 @@ impl Default for SystemConfig {
             backend: BackendKind::Exact,
             reduce_via: ReduceVia::default(),
             fabric: FabricConfig::default(),
+            paging: None,
         }
     }
 }
@@ -136,6 +144,24 @@ impl SystemConfig {
     pub fn with_dram(mut self, dram: DramConfig) -> Self {
         self.dram = dram;
         self
+    }
+
+    /// Enable the VA→PA paging layer.
+    pub fn with_paging(mut self, paging: PagingConfig) -> Self {
+        self.paging = Some(paging);
+        self
+    }
+
+    /// The validated translation map of `paging`, if set. Built with
+    /// [`PageMap::for_mapping`], so frame allocation is page-colored: the
+    /// channel/rank/bank-group parities of this system's address mapping
+    /// are preserved and translation never moves a block out of its PIM's
+    /// bank partition.
+    ///
+    /// # Panics
+    /// On a degenerate [`PagingConfig`] (see [`PageMap::try_new`]).
+    pub fn page_map(&self) -> Option<PageMap> {
+        self.paging.map(|cfg| PageMap::for_mapping(cfg, &self.mapping()))
     }
 }
 

@@ -22,8 +22,8 @@ use crate::report::{ActivityCounts, LatencyReport, Phase};
 use stepstone_addr::agen::Spans;
 use stepstone_addr::groups::partition_constraints;
 use stepstone_addr::{
-    AgenSpan, GroupAnalysis, KeyRuns, MatrixLayout, NaiveAgen, PimLevel, RegionIter, RegionPlan,
-    SpanProgram, StepStoneAgen, XorMapping, BLOCK_BYTES, BLOCK_SHIFT,
+    AgenSpan, GroupAnalysis, KeyRuns, MatrixLayout, NaiveAgen, PageMap, PagingConfig, PimLevel,
+    RegionIter, RegionPlan, SpanProgram, StepStoneAgen, XorMapping, BLOCK_BYTES, BLOCK_SHIFT,
 };
 use stepstone_dram::{
     AnalyticState, BackendKind, CommandBus, MemoryBackend, Port, TimingState, TrafficSource,
@@ -124,6 +124,9 @@ pub struct SessionKey {
     pub scratchpad_bytes: u64,
     /// [`KernelGranularity`] as a stable tag (it does not derive `Hash`).
     pub granularity: u8,
+    /// The system's VA→PA paging layer: the context caches a [`PageMap`],
+    /// so two systems differing only in paging must not share contexts.
+    pub paging: Option<PagingConfig>,
 }
 
 impl SessionKey {
@@ -138,7 +141,15 @@ impl SessionKey {
                 KernelGranularity::PerDotProduct => 1,
                 KernelGranularity::PerCacheBlock => 2,
             },
+            paging: None,
         }
+    }
+
+    /// [`SessionKey::new`] plus the system fields a [`GemmContext`] build
+    /// bakes in (currently the paging layer) — the key the serving session
+    /// cache must use.
+    pub fn for_system(sys: &SystemConfig, spec: &GemmSpec, opts: &SimOptions) -> Self {
+        Self { paging: sys.paging, ..Self::new(spec, opts) }
     }
 }
 
@@ -171,7 +182,7 @@ impl SessionCache {
         opts: &SimOptions,
     ) -> std::sync::Arc<GemmContext> {
         use std::sync::atomic::Ordering;
-        let key = SessionKey::new(spec, opts);
+        let key = SessionKey::for_system(sys, spec, opts);
         if let Some(ctx) = self.ctxs.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return ctx.clone();
@@ -271,6 +282,11 @@ pub struct GemmContext {
     pub b_key_runs: Vec<Option<KeyRuns>>,
     /// Same for the partial-`C` region (FillC/DrainC hints).
     pub c_key_runs: Vec<Option<KeyRuns>>,
+    /// The system's VA→PA translation map (page-colored for this context's
+    /// mapping; `None` = the paper's physically contiguous arenas). Step
+    /// streams translate through it and clip their run promises at page
+    /// boundaries.
+    pub page_map: Option<PageMap>,
 }
 
 impl GemmContext {
@@ -386,6 +402,7 @@ impl GemmContext {
             direct_scratchpad,
             b_key_runs,
             c_key_runs,
+            page_map: sys.page_map(),
         }
     }
 
@@ -550,6 +567,19 @@ impl WalkCursor {
         }
     }
 
+    /// Address of the next block this cursor will yield, without advancing
+    /// — valid whenever a span is in flight (which [`WalkCursor::run_hint`]
+    /// returning > 1 implies). Page-clipped hints key their boundary on it.
+    #[inline]
+    pub fn peek_pa(&self) -> Option<u64> {
+        match self {
+            WalkCursor::Naive(_) => None,
+            WalkCursor::Spanned { cur, remaining, .. } => {
+                (*remaining > 0).then_some(*cur)
+            }
+        }
+    }
+
     /// Skip up to `n` blocks of the current span without yielding them
     /// (the [`StepSource::take_run`] contract: only callable for blocks a
     /// hint already promised, each a plain one-iteration continuation).
@@ -636,6 +666,11 @@ pub struct KernelStream<'a> {
     uncached_agen: bool,
     /// PA bits that only move the column coordinate (run-hint guard).
     col_pure: u64,
+    /// Set when the system's paging layer affects this stream: run hints
+    /// are clipped at page boundaries so promised runs never straddle a
+    /// frame (translation can break keys there, and transitions must be
+    /// real pulls that carry the PTW's AGEN cost).
+    page: Option<PageMap>,
     /// Last emitted access address — debug builds verify every block a
     /// `take_run` skips against its (bank, row) key.
     #[cfg(debug_assertions)]
@@ -689,6 +724,7 @@ impl<'a> KernelStream<'a> {
             queued: None,
             uncached_agen: false,
             col_pure: ctx.mapping.column_pure_mask(),
+            page: ctx.page_map.clone().filter(|m| m.affects_stream()),
             #[cfg(debug_assertions)]
             last_pa: 0,
         }
@@ -876,13 +912,29 @@ impl StepSource for KernelStream<'_> {
     ///   space — the XOR mapping interleaves their columns — but the
     ///   non-column decode fields cancel; see
     ///   [`stepstone_addr::RegionPlan::key_runs`]).
+    ///
+    /// Under an active paging layer every promise is additionally clipped
+    /// at the next page boundary: within one page key equality is
+    /// translation-invariant (decode is XOR-linear and the frame is
+    /// common), so a clipped promise that held on virtual addresses holds
+    /// on the translated stream, while page transitions stay real pulls
+    /// that carry the PTW cost.
     fn run_hint(&self) -> u64 {
         if self.queued.is_some() {
             return 1;
         }
         match self.stage {
             KernelStage::Gemm if !self.echo => {
-                self.walk.as_ref().map_or(1, |w| w.run_hint(self.col_pure))
+                let Some(w) = self.walk.as_ref() else { return 1 };
+                let h = w.run_hint(self.col_pure);
+                match (&self.page, w.peek_pa()) {
+                    (Some(pm), Some(va)) if h > 1 => {
+                        // The A-walk's spans are address-contiguous.
+                        let page_end = (va | pm.page_mask()) + 1;
+                        h.min((page_end - va) / BLOCK_BYTES)
+                    }
+                    _ => h,
+                }
             }
             KernelStage::FillC | KernelStage::FillB | KernelStage::DrainC => {
                 let Some(it) = self.fill.as_ref() else { return 1 };
@@ -890,9 +942,19 @@ impl StepSource for KernelStream<'_> {
                 if rem <= 1 {
                     return 1;
                 }
-                self.fill_key_runs()
+                let h = self
+                    .fill_key_runs()
                     .as_ref()
-                    .map_or(1, |kr| kr.run_len_from(it.pos_rank()).min(rem))
+                    .map_or(1, |kr| kr.run_len_from(it.pos_rank()).min(rem));
+                match (&self.page, it.peek_addr()) {
+                    (Some(pm), Some(va)) if h > 1 => {
+                        // Fill runs are not contiguous; count the region
+                        // blocks below the boundary via the plan's rank.
+                        let page_end = (va | pm.page_mask()) + 1;
+                        h.min(it.plan().rank_below(page_end) - it.pos_rank())
+                    }
+                    _ => h,
+                }
             }
             _ => 1,
         }
@@ -1006,8 +1068,64 @@ impl Iterator for RegionInterleave<'_> {
     }
 }
 
+/// VA→PA translating adapter over a step stream: every [`Step::Access`]
+/// address goes through the [`PageMap`], and — when `charge_ptw` is set —
+/// each page *transition* of the stream charges the PTW's extra AGEN
+/// iterations (kernel streams walk their own page table; DMA transfers
+/// are host-programmed with pre-translated descriptors, so they translate
+/// without walking). Run hints and skips forward unchanged: the inner
+/// sources clip their promises at page boundaries, and within one page
+/// key equality is translation-invariant, so a promise that held on
+/// virtual addresses holds on the translated stream.
+pub struct PagedSteps<S> {
+    inner: S,
+    map: PageMap,
+    charge_ptw: bool,
+    cur_vpn: Option<u64>,
+}
+
+impl<S> PagedSteps<S> {
+    pub fn new(inner: S, map: PageMap, charge_ptw: bool) -> Self {
+        Self { inner, map, charge_ptw, cur_vpn: None }
+    }
+}
+
+impl<S: Iterator<Item = Step>> Iterator for PagedSteps<S> {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        let step = self.inner.next()?;
+        Some(match step {
+            Step::Access { pa, write, cat, agen_iters, compute } => {
+                let vpn = self.map.vpn(pa);
+                let mut agen_iters = agen_iters;
+                if self.charge_ptw && self.cur_vpn != Some(vpn) {
+                    // The stream left its page (or is cold): re-walk.
+                    agen_iters += self.map.ptw_cycles();
+                }
+                self.cur_vpn = Some(vpn);
+                Step::Access { pa: self.map.translate(pa), write, cat, agen_iters, compute }
+            }
+            s => s,
+        })
+    }
+}
+
+impl<S: StepSource> StepSource for PagedSteps<S> {
+    fn run_hint(&self) -> u64 {
+        self.inner.run_hint()
+    }
+
+    // Skipped blocks were promised by a page-clipped hint, so they share
+    // the anchor's page: `cur_vpn` is already theirs.
+    fn take_run(&mut self, n: u64) -> u64 {
+        self.inner.take_run(n)
+    }
+}
+
 /// Build DMA transfer cursors (one per channel) over the given per-PIM
-/// region plans.
+/// region plans. Under a non-identity paging layer the streams translate
+/// their addresses (no PTW: the host pre-translates DMA descriptors).
 pub fn transfer_cursors<'a>(
     ctx: &'a GemmContext,
     regions: &'a [RegionPlan],
@@ -1027,6 +1145,12 @@ pub fn transfer_cursors<'a>(
                 .map(|(pix, _)| regions[pix].iter())
                 .collect();
             let steps = RegionInterleave::new(mine, write, cat);
+            let steps: Box<dyn Iterator<Item = Step> + Send + 'a> = match &ctx.page_map {
+                Some(pm) if !pm.is_identity() => {
+                    Box::new(PagedSteps::new(steps, pm.clone(), false))
+                }
+                _ => Box::new(steps),
+            };
             UnitCursor::transfer("dma", ch, Port::Channel, steps, start, gap)
         })
         .collect()
@@ -1178,6 +1302,15 @@ pub fn simulate_pow2_gemm_resident<B: MemoryBackend>(
                         .collect::<Vec<_>>()
                         .into_iter(),
                 )),
+            };
+            // Kernel streams translate through the paging layer and pay
+            // the PTW on page transitions (applied after collection for
+            // the materialized modes, so all three stay step-identical).
+            let steps: Box<dyn StepSource + Send> = match &ctx.page_map {
+                Some(pm) if pm.affects_stream() => {
+                    Box::new(PagedSteps::new(steps, pm.clone(), true))
+                }
+                _ => steps,
             };
             let mut u = UnitCursor::from_source(
                 "pim",
@@ -1533,22 +1666,108 @@ mod tests {
         }
     }
 
+    /// Identity-policy paging with zero PTW cost must be bit-identical to
+    /// the contiguous baseline at any page size: translation is the
+    /// identity and no stream is wrapped at all (`affects_stream` gates
+    /// it). This is the flow-level arm of the CI bit-identity gate.
+    #[test]
+    fn identity_paging_is_bit_identical_to_contiguous() {
+        use stepstone_addr::PagingConfig;
+        let s = sys();
+        let spec = GemmSpec::new(512, 512, 4);
+        let base = simulate_gemm(&s, &spec, PimLevel::BankGroup);
+        for page in [4096u64, 2 << 20] {
+            let paged = s.clone().with_paging(PagingConfig::identity(page));
+            let r = simulate_gemm(&paged, &spec, PimLevel::BankGroup);
+            assert_eq!(r.total, base.total, "page {page}");
+            assert_eq!(r.phase_cycles, base.phase_cycles, "page {page}");
+            assert_eq!(r.dram, base.dram, "page {page}");
+        }
+    }
+
+    /// A page size covering the whole simulated address range provably
+    /// reduces to the contiguous path: every arena shares one page, so
+    /// translation is a single constant frame offset above all decoded
+    /// ID bits — a uniform (bank, row) relabeling that cannot change any
+    /// timing decision. Bit-identical, even for a non-identity policy.
+    #[test]
+    fn whole_arena_page_reduces_to_contiguous() {
+        use stepstone_addr::PagingConfig;
+        let s = sys();
+        let spec = GemmSpec::new(512, 512, 4);
+        let base = simulate_gemm(&s, &spec, PimLevel::BankGroup);
+        let paged = s.clone().with_paging(PagingConfig::permuted(1 << 36, 7));
+        // The permuted policy actually moves the page (nonzero affine
+        // constant); the reduction must hold anyway.
+        let pm = paged.page_map().unwrap();
+        assert_ne!(pm.translate(1 << 30), 1 << 30, "test must exercise a moved frame");
+        let r = simulate_gemm(&paged, &spec, PimLevel::BankGroup);
+        assert_eq!(r.total, base.total);
+        assert_eq!(r.phase_cycles, base.phase_cycles);
+        assert_eq!(r.dram, base.dram);
+    }
+
+    /// Fragmented small pages run end to end under the debug-build
+    /// contract checks (hinted-run key verification, per-channel scope
+    /// asserts), move exactly the same blocks, and — with a PTW cost —
+    /// take strictly longer than the contiguous baseline.
+    #[test]
+    fn fragmented_paging_preserves_traffic_and_charges_the_ptw() {
+        use stepstone_addr::PagingConfig;
+        let s = sys();
+        let spec = GemmSpec::new(512, 512, 4);
+        let base = simulate_gemm(&s, &spec, PimLevel::BankGroup);
+        let frag = s.clone().with_paging(PagingConfig::fragmented(4096, 42));
+        let r = simulate_gemm(&frag, &spec, PimLevel::BankGroup);
+        assert_eq!(r.dram.reads, base.dram.reads);
+        assert_eq!(r.dram.writes, base.dram.writes);
+        // A 20-cycle walk per 64-block page hides entirely under the
+        // memory-bound stream; an uncached 500-cycle walk must not.
+        let walked =
+            s.clone().with_paging(PagingConfig::fragmented(4096, 42).with_ptw(500));
+        let rw = simulate_gemm(&walked, &spec, PimLevel::BankGroup);
+        assert_eq!(rw.dram.reads, base.dram.reads);
+        assert!(rw.total > r.total, "ptw={} frag={}", rw.total, r.total);
+        assert!(
+            rw.activity.agen_iterations > r.activity.agen_iterations,
+            "PTW must surface as AGEN iterations"
+        );
+    }
+
     /// Timing is shift-invariant with refresh disabled (the default): a
     /// pass started at a large virtual offset reports the same per-request
     /// latency as one at time zero. This is what makes session-layer
-    /// service times reusable at any point in a serving timeline.
+    /// service times reusable at any point in a serving timeline — on every
+    /// memory preset, on the analytic tier, and under a paged arena.
     #[test]
     fn resident_pass_is_shift_invariant() {
-        let s = sys();
-        let spec = GemmSpec::new(512, 512, 4);
-        let opts = SimOptions::stepstone(PimLevel::BankGroup);
-        let ctx = GemmContext::build(&s, &spec, &opts);
-        let r0 = simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 0);
-        let r1 =
-            simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 1 << 30);
-        assert_eq!(r0.total, r1.total);
-        assert_eq!(r0.phase_cycles, r1.phase_cycles);
-        assert_eq!(r0.dram, r1.dram);
+        use stepstone_dram::DramConfig;
+        let arms: [(&str, SystemConfig); 5] = [
+            ("ddr4", sys()),
+            ("ddr5", sys().with_dram(DramConfig::ddr5_4800())),
+            ("hbm2", sys().with_dram(DramConfig::hbm2())),
+            ("analytic", sys().with_backend(BackendKind::Analytic)),
+            ("paged", sys().with_paging(PagingConfig::fragmented(4096, 9).with_ptw(20))),
+        ];
+        for (name, s) in arms {
+            let spec = GemmSpec::new(512, 512, 4);
+            let opts = SimOptions::stepstone(PimLevel::BankGroup);
+            let ctx = GemmContext::build(&s, &spec, &opts);
+            let r0 =
+                simulate_pow2_gemm_ctx(&s, &spec, &opts, None, ExecMode::Streaming, &ctx, 0);
+            let r1 = simulate_pow2_gemm_ctx(
+                &s,
+                &spec,
+                &opts,
+                None,
+                ExecMode::Streaming,
+                &ctx,
+                1 << 30,
+            );
+            assert_eq!(r0.total, r1.total, "{name}");
+            assert_eq!(r0.phase_cycles, r1.phase_cycles, "{name}");
+            assert_eq!(r0.dram, r1.dram, "{name}");
+        }
     }
 
     /// Back-to-back passes over one persistent timing state + bus report

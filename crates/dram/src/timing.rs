@@ -1018,4 +1018,28 @@ mod tests {
         assert_eq!(ts.stats.reads_by_port[Port::Channel.index()], n);
         assert_eq!(ts.stats.row_hits + ts.stats.row_misses, n);
     }
+
+    #[test]
+    fn delta_saturates_when_a_counter_resets_across_sessions() {
+        // The serving session layer snapshots cumulative stats and reports
+        // per-request deltas. If the underlying counters ever restart
+        // mid-timeline (fresh `TimingState` reused against an old
+        // snapshot), every field must clamp to zero rather than wrap to
+        // ~u64::MAX and poison downstream per-request accounting.
+        let before = DramStats {
+            reads: 100,
+            writes: 50,
+            acts: 10,
+            row_hits: 9,
+            row_misses: 1,
+            reads_by_port: [5, 6, 7],
+            writes_by_port: [1, 2, 3],
+            data_cycles: 400,
+            refreshes: 2,
+        };
+        let after = DramStats { reads: 1, ..DramStats::default() };
+        assert_eq!(after.delta(&before), DramStats::default());
+        // And the normal direction still subtracts exactly.
+        assert_eq!(before.delta(&after).reads, 99);
+    }
 }
